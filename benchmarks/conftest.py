@@ -1,0 +1,25 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each benchmark regenerates one experiment table (DESIGN.md §3) at
+reduced scale, prints it, and asserts the paper's expected *shape* —
+who wins and by roughly what factor, not absolute numbers.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+The experiments are single deterministic simulations, so each runs for
+exactly one benchmark round.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark clock; return result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def show(table) -> None:
+    print()
+    print(table.render())

@@ -1,0 +1,171 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not paper tables — these quantify the knobs the implementation had to
+choose, so a downstream user can see what each one buys:
+
+* A1: failure-detection delay → availability during the exclusion window;
+* A2: copier concurrency → staleness drain time;
+* A3: concurrency control (2PL vs TO) → throughput/abort profile under
+  the same contended workload (the §1 "large class of CC algorithms"
+  composition, measured).
+"""
+
+import random
+
+from benchmarks.conftest import run_once, show
+from repro.core import RowaaSystem
+from repro.core.config import RowaaConfig
+from repro.harness.runner import build_scheme, settle
+from repro.harness.tables import Table
+from repro.net import ConstantLatency
+from repro.sim import Kernel
+from repro.txn import TxnConfig
+from repro.workload import ClientPool, WorkloadGenerator, WorkloadSpec
+
+
+def test_a1_detection_delay(benchmark):
+    """Longer detection ⇒ longer write-disruption window after a crash.
+
+    Measured as the time from the crash until the first write commits
+    again: a write cannot commit while the nominal view still names the
+    dead site (all attempts time out), so the window is roughly
+    detection delay + type-2 commit + the in-flight timeout.
+    """
+
+    def run():
+        table = Table(
+            "A1: write-disruption window vs failure-detection delay",
+            ["detection_delay", "disruption_window"],
+        )
+        for delay in (2.0, 10.0, 40.0):
+            kernel = Kernel(seed=21)
+            system = RowaaSystem(
+                kernel, 3, {"X": 0},
+                latency=ConstantLatency(1.0), detection_delay=delay,
+                # Tight (but > RTT) timeouts so the detection delay, not
+                # timeout machinery, is the binding term of the window.
+                config=TxnConfig(rpc_timeout=8.0),
+                rowaa_config=RowaaConfig(type2_verify_ping=3.0),
+            )
+            system.boot()
+            crash_at = 20.0
+            first_commit = [None]
+
+            def hammer(first_commit=first_commit, kernel=kernel, system=system):
+                from repro.errors import TransactionAborted
+
+                while first_commit[0] is None:
+                    def write(ctx):
+                        yield from ctx.write("X", 1)
+
+                    try:
+                        yield from system.tms[1].run(write)
+                        if kernel.now > crash_at:
+                            first_commit[0] = kernel.now
+                    except TransactionAborted:
+                        yield kernel.timeout(1.0)
+
+            kernel.run(until=crash_at)
+            system.crash(3)
+            kernel.process(hammer())
+            kernel.run(until=400.0)
+            system.stop()
+            kernel.run(until=410.0)
+            window = (first_commit[0] - crash_at) if first_commit[0] else None
+            table.add_row(detection_delay=delay, disruption_window=window)
+        return table
+
+    table = run_once(benchmark, run)
+    show(table)
+    window = {row["detection_delay"]: row["disruption_window"] for row in table.rows}
+    assert all(value is not None for value in window.values())
+    assert window[2.0] < window[10.0] < window[40.0]
+    # The window tracks the detection delay roughly one-for-one.
+    assert window[40.0] - window[2.0] >= 0.5 * (40.0 - 2.0)
+
+
+def test_a2_copier_concurrency(benchmark):
+    """More copier lanes ⇒ faster drain, with diminishing returns."""
+
+    def run():
+        table = Table(
+            "A2: staleness drain time vs copier concurrency (24 stale copies)",
+            ["concurrency", "drain_time"],
+        )
+        for lanes in (1, 4, 16):
+            config = RowaaConfig(copier_mode="eager", copier_concurrency=lanes)
+            kernel, system = build_scheme(
+                "rowaa", 31 + lanes, 3, {f"X{i}": 0 for i in range(24)},
+                rowaa_config=config,
+            )
+            system.crash(3)
+            settle(kernel, system, 60.0)
+            for index in range(24):
+                kernel.run(system.submit_with_retry(
+                    1, _write(f"X{index}", index), attempts=4))
+            power_at = kernel.now
+            kernel.run(system.power_on(3))
+            kernel.run(until=kernel.now + 2000)
+            system.stop()
+            drained = system.copiers[3].drained_at
+            table.add_row(concurrency=lanes, drain_time=drained - power_at)
+        return table
+
+    table = run_once(benchmark, run)
+    show(table)
+    drain = {row["concurrency"]: row["drain_time"] for row in table.rows}
+    assert drain[4] <= drain[1]
+    assert drain[16] <= drain[4] + 1.0  # diminishing returns allowed
+
+
+def test_a3_concurrency_control(benchmark):
+    """2PL vs TO on a contended read-modify-write mix."""
+
+    def run():
+        table = Table(
+            "A3: 2PL vs timestamp ordering under contention",
+            ["cc", "committed", "aborted", "deadlock_victims", "to_rejections"],
+        )
+        for cc in ("2pl", "to"):
+            spec = WorkloadSpec(n_items=6, ops_per_txn=3, write_fraction=0.5,
+                                zipf_s=0.8)
+            kernel = Kernel(seed=77)
+            system = RowaaSystem(
+                kernel, 3, spec.initial_items(),
+                latency=ConstantLatency(1.0),
+                config=TxnConfig(rpc_timeout=25.0, deadlock_interval=15.0),
+                concurrency=cc,
+            )
+            system.boot()
+            pool = ClientPool(system, WorkloadGenerator(spec, random.Random(6)),
+                              n_clients=6, think_time=2.0, retries=2)
+            pool.start(400.0)
+            kernel.run(until=450.0)
+            system.stop()
+            kernel.run(until=460.0)
+            to_rejections = sum(
+                getattr(dm, "stats_to_rejections", 0) for dm in system.dms.values()
+            )
+            table.add_row(
+                cc=cc,
+                committed=pool.stats.committed,
+                aborted=pool.stats.aborted,
+                deadlock_victims=system.deadlock_detector.victims_chosen,
+                to_rejections=to_rejections,
+            )
+        return table
+
+    table = run_once(benchmark, run)
+    show(table)
+    (two_pl,) = table.where(cc="2pl")
+    (to,) = table.where(cc="to")
+    assert two_pl["committed"] > 0 and to["committed"] > 0
+    assert to["deadlock_victims"] == 0  # TO cannot deadlock
+    assert to["to_rejections"] > 0  # it aborts conflicts instead
+
+
+def _write(item, value):
+    def program(ctx):
+        yield from ctx.write(item, value)
+
+    return program

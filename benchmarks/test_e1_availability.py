@@ -1,0 +1,42 @@
+"""E1 — availability vs failed sites (DESIGN.md §3, claim of §1/§6)."""
+
+from benchmarks.conftest import run_once, show
+from repro.harness.experiments import e1_availability
+
+
+def test_e1_availability(benchmark):
+    table = run_once(
+        benchmark,
+        lambda: e1_availability.run(
+            seed=3,
+            n_sites=5,
+            replication=3,
+            n_items=12,
+            max_failed=3,
+            load_duration=250.0,
+        ),
+    )
+    show(table)
+
+    def cell(scheme, failed, column):
+        (row,) = table.where(scheme=scheme, failed=failed)
+        return row[column]
+
+    # No failures: everyone is fully available.
+    for scheme in ("rowaa", "rowa", "quorum", "directories"):
+        assert cell(scheme, 0, "read_availability") >= 0.95
+
+    # One failure: strict ROWA's write availability collapses (most items
+    # have a replica on the dead site), while ROWAA stays high.
+    assert cell("rowaa", 1, "write_availability") >= 0.9
+    assert cell("rowa", 1, "write_availability") <= 0.6
+    assert cell("directories", 1, "write_availability") >= 0.9
+
+    # Three of five failed: quorum (majority = 2 of 3 copies) is mostly
+    # dead; ROWAA still commits on surviving copies.
+    assert cell("rowaa", 3, "write_availability") > cell(
+        "quorum", 3, "write_availability"
+    )
+    assert cell("rowaa", 3, "read_availability") > cell(
+        "quorum", 3, "read_availability"
+    )

@@ -1,0 +1,36 @@
+"""E2 — resume latency after reboot (DESIGN.md §3, claim of §1/§3.4)."""
+
+from benchmarks.conftest import run_once, show
+from repro.harness.experiments import e2_resume
+
+
+def test_e2_resume_latency(benchmark):
+    table = run_once(
+        benchmark,
+        lambda: e2_resume.run(
+            seed=3,
+            n_items=16,
+            missed_updates=(0, 8, 24),
+            replay_cost=0.5,
+        ),
+    )
+    show(table)
+
+    def t_op(scheme, missed):
+        (row,) = table.where(scheme=scheme, missed_updates=missed)
+        return row["t_operational"]
+
+    # ROWAA's time-to-operational is flat in the number of missed
+    # updates (data recovery happens in the background)...
+    assert abs(t_op("rowaa", 24) - t_op("rowaa", 0)) <= 2.0
+
+    # ...the spooler's grows with them (redo before rejoining)...
+    assert t_op("spooler", 24) >= t_op("spooler", 0) + 0.4 * 24 * 0.8
+
+    # ...and the directory scheme pays one INCLUDE per item regardless.
+    assert t_op("directories", 0) > t_op("rowaa", 0) * 3
+
+    # ROWAA rejoins fastest in every scenario.
+    for missed in (0, 8, 24):
+        assert t_op("rowaa", missed) <= t_op("spooler", missed)
+        assert t_op("rowaa", missed) < t_op("directories", missed)

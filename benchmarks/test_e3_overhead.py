@@ -1,0 +1,26 @@
+"""E3 — failure-free overhead (DESIGN.md §3, claim of §6)."""
+
+from benchmarks.conftest import run_once, show
+from repro.harness.experiments import e3_overhead
+
+
+def test_e3_overhead(benchmark):
+    table = run_once(
+        benchmark,
+        lambda: e3_overhead.run(
+            seed=3,
+            site_counts=(3, 5),
+            n_items=16,
+            load_duration=400.0,
+        ),
+    )
+    show(table)
+
+    for n_sites in (3, 5):
+        (rowaa,) = table.where(scheme="rowaa", sites=n_sites)
+        (naive,) = table.where(scheme="naive", sites=n_sites)
+        # "The extra cost to user transactions is negligible" (§6):
+        # within 10% of the machinery-free floor on every metric.
+        assert rowaa["throughput"] >= naive["throughput"] * 0.9
+        assert rowaa["mean_latency"] <= naive["mean_latency"] * 1.1
+        assert rowaa["msgs_per_commit"] <= naive["msgs_per_commit"] * 1.1

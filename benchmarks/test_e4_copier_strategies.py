@@ -1,0 +1,32 @@
+"""E4 — copier scheduling (DESIGN.md §3, claim of §3.2)."""
+
+from benchmarks.conftest import run_once, show
+from repro.harness.experiments import e4_copiers
+
+
+def test_e4_copier_strategies(benchmark):
+    table = run_once(
+        benchmark,
+        lambda: e4_copiers.run(
+            seed=3,
+            n_items=16,
+            stale_fraction=0.5,
+            read_duration=400.0,
+        ),
+    )
+    show(table)
+
+    def row(mode):
+        (r,) = table.where(mode=mode)
+        return r
+
+    # Eager (and both) drain everything promptly.
+    assert row("eager")["drain_time"] is not None
+    assert row("both")["drain_time"] is not None
+    # Demand-only is no faster than eager and forces more redirects.
+    if row("demand")["drain_time"] is not None:
+        assert row("demand")["drain_time"] >= row("eager")["drain_time"]
+    assert row("demand")["redirected_reads"] >= row("eager")["redirected_reads"]
+    # With no copiers at all, reads keep redirecting for the whole run.
+    assert row("none")["redirected_reads"] > row("demand")["redirected_reads"]
+    assert row("none")["copies_performed"] == 0

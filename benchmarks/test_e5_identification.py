@@ -1,0 +1,38 @@
+"""E5 — identifying out-of-date copies (DESIGN.md §3, claims of §5)."""
+
+from benchmarks.conftest import run_once, show
+from repro.harness.experiments import e5_identification
+
+
+def test_e5_identification(benchmark):
+    n_items = 16
+    table = run_once(
+        benchmark,
+        lambda: e5_identification.run(
+            seed=3,
+            n_items=n_items,
+            update_fractions=(0.25, 1.0),
+        ),
+    )
+    show(table)
+
+    def row(policy, fraction):
+        (r,) = table.where(policy=policy, updated_fraction=fraction)
+        return r
+
+    stale = round(n_items * 0.25)
+    # The refinements mark exactly the stale set; mark-all marks all.
+    assert row("fail-locks", 0.25)["marked"] == stale
+    assert row("missing-lists", 0.25)["marked"] == stale
+    assert row("mark-all", 0.25)["marked"] == n_items
+
+    # Version-skip rescues mark-all's transfers; without it, the whole
+    # database is copied.
+    assert row("mark-all", 0.25)["data_transfers"] == stale
+    assert row("mark-all", 0.25)["version_skips"] == n_items - stale
+    assert row("mark-all-no-skip", 0.25)["data_transfers"] == n_items
+
+    # At update fraction 1 every policy converges to the same work.
+    for policy in ("mark-all", "fail-locks", "missing-lists"):
+        assert row(policy, 1.0)["marked"] == n_items
+        assert row(policy, 1.0)["data_transfers"] == n_items

@@ -1,0 +1,24 @@
+"""E6 — resilience to multiple failures (DESIGN.md §3, claims of §1/§3.4)."""
+
+from benchmarks.conftest import run_once, show
+from repro.harness.experiments import e6_multifailure
+
+
+def test_e6_multi_failure(benchmark):
+    table = run_once(
+        benchmark,
+        lambda: e6_multifailure.run(seed=3, trials=4),
+    )
+    show(table)
+
+    # Every recovery in every scenario eventually succeeds.
+    for row in table.rows:
+        assert row["succeeded"] == row["recoveries"], row
+
+    (single,) = table.where(scenario="single")
+    (disturbed,) = table.where(scenario="crash-during-t1")
+    # A quiet recovery takes exactly one type-1 attempt; the disturbed
+    # scenario needs retries and recoverer-initiated type-2 exclusions.
+    assert single["mean_type1_attempts"] == 1.0
+    assert single["type2_by_recoverer"] == 0
+    assert disturbed["mean_type1_attempts"] > 1.0

@@ -1,0 +1,37 @@
+"""E7 — control-transaction cost (DESIGN.md §3, claim of §6)."""
+
+from benchmarks.conftest import run_once, show
+from repro.harness.experiments import e7_control_cost
+
+
+def test_e7_control_cost(benchmark):
+    table = run_once(
+        benchmark,
+        lambda: e7_control_cost.run(seed=3, item_counts=(4, 16, 32)),
+    )
+    show(table)
+
+    def row(scheme, items):
+        (r,) = table.where(scheme=scheme, items=items)
+        return r
+
+    # Status transactions: per-site (flat) vs per-item (linear).
+    assert row("rowaa", 4)["status_txns"] == row("rowaa", 32)["status_txns"] == 2
+    assert row("directories", 32)["status_txns"] >= 8 * row(
+        "directories", 4
+    )["status_txns"] // 2
+    assert (
+        row("directories", 32)["status_txns"]
+        > row("rowaa", 32)["status_txns"] * 10
+    )
+
+    # With precise identification and nothing updated, ROWAA's total
+    # failure-handling traffic is flat in the database size.
+    assert (
+        row("rowaa-faillocks", 32)["remote_messages"]
+        == row("rowaa-faillocks", 4)["remote_messages"]
+    )
+    # The directory scheme's grows linearly.
+    assert row("directories", 32)["remote_messages"] >= 4 * row(
+        "directories", 4
+    )["remote_messages"]

@@ -1,0 +1,146 @@
+"""Microbenchmarks of the substrates themselves (real multi-round runs).
+
+These measure the *simulator's* throughput, not the protocol: how many
+virtual events, lock operations, RPC round trips, and checker runs a
+second of wall time buys. Useful for sizing experiments and for
+catching performance regressions in the kernel.
+"""
+
+from repro.baselines import StrictROWA
+from repro.histories import HistoryRecorder, check_one_sr
+from repro.net import ConstantLatency, Network, RpcNode
+from repro.sim import Kernel
+from repro.system import DatabaseSystem
+from repro.txn import LockManager, LockMode, TxnConfig
+
+
+def test_kernel_event_throughput(benchmark):
+    """Schedule-and-drain 10k timeout events."""
+
+    def run():
+        kernel = Kernel(seed=0)
+        for index in range(10_000):
+            kernel.timeout(index % 97)
+        kernel.run()
+        return kernel.now
+
+    assert benchmark(run) > 0
+
+
+def test_process_switch_throughput(benchmark):
+    """Two processes ping-ponging through 2k queue handoffs."""
+
+    def run():
+        from repro.sim import Queue
+
+        kernel = Kernel(seed=0)
+        ping, pong = Queue(kernel), Queue(kernel)
+
+        def left():
+            for index in range(1000):
+                ping.put(index)
+                yield pong.get()
+
+        def right():
+            for _ in range(1000):
+                value = yield ping.get()
+                pong.put(value)
+
+        kernel.process(left())
+        kernel.process(right())
+        kernel.run()
+        return True
+
+    assert benchmark(run)
+
+
+def test_lock_manager_throughput(benchmark):
+    """5k uncontended acquire/release cycles."""
+
+    def run():
+        kernel = Kernel(seed=0)
+        manager = LockManager(kernel, site_id=1)
+        for index in range(5000):
+            txn = f"T{index}@1"
+            manager.acquire(txn, f"item{index % 50}", LockMode.X)
+            manager.release_all(txn)
+        kernel.run()
+        return manager.stats_grants
+
+    assert benchmark(run) == 5000
+
+
+def test_rpc_roundtrip_throughput(benchmark):
+    """500 sequential remote echo calls."""
+
+    def run():
+        kernel = Kernel(seed=0)
+        network = Network(kernel, latency=ConstantLatency(0.1))
+        a = RpcNode(kernel, network, 1)
+        b = RpcNode(kernel, network, 2)
+        a.start()
+        b.start()
+        b.register("echo", lambda payload, src: payload)
+
+        def caller():
+            for index in range(500):
+                got = yield a.call(2, "echo", index)
+                assert got == index
+            return True
+
+        return kernel.run(kernel.process(caller()))
+
+    assert benchmark(run)
+
+
+def test_transaction_throughput_3sites(benchmark):
+    """200 sequential replicated read-modify-write transactions."""
+
+    def run():
+        kernel = Kernel(seed=0)
+        system = DatabaseSystem(
+            kernel, 3, {"X": 0},
+            strategy_factory=lambda _s: StrictROWA(),
+            latency=ConstantLatency(1.0),
+            config=TxnConfig(),
+        )
+        system.boot()
+
+        def increment(ctx):
+            value = yield from ctx.read("X")
+            yield from ctx.write("X", value + 1)
+
+        def driver():
+            for _ in range(200):
+                yield from system.tms[1].run(increment)
+            return system.copy_value(1, "X")
+
+        result = kernel.run(kernel.process(driver()))
+        system.stop()
+        return result
+
+    assert benchmark(run) == 200
+
+
+def test_one_sr_checker_throughput(benchmark):
+    """Check a 300-transaction serial history."""
+
+    recorder = HistoryRecorder()
+    time = 0.0
+    for seq in range(1, 301):
+        txn = f"T{seq}@1"
+        time += 1.0
+        item = f"X{seq % 10}"
+        recorder.record_read(time, txn, seq, "user", item, 1,
+                             version_seq=max(0, seq - 10),
+                             version_ts=max(0.0, time - 10),
+                             version_commit=max(0, seq - 10))
+        recorder.record_write(time, txn, seq, "user", item, 1,
+                              version_seq=seq, version_ts=time,
+                              version_commit=seq)
+        recorder.mark_committed(txn)
+
+    def run():
+        return check_one_sr(recorder).ok
+
+    assert benchmark(run)

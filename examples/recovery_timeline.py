@@ -1,0 +1,74 @@
+"""An annotated recovery timeline, policy by policy.
+
+Replays the same outage under the three §5 identification policies and
+prints what each phase of the §3.4 procedure did and when:
+
+  power-on → collect/mark (step 2) → type-1 (steps 3-4) → operational
+  → copiers drain in the background.
+
+Run:  python examples/recovery_timeline.py
+"""
+
+from repro.core import RowaaConfig, RowaaSystem
+from repro.net import ConstantLatency
+from repro.sim import Kernel
+
+N_ITEMS = 12
+UPDATED_DURING_OUTAGE = 3
+
+
+def write_program(item, value):
+    def program(ctx):
+        yield from ctx.write(item, value)
+
+    return program
+
+
+def one_run(identify_mode):
+    kernel = Kernel(seed=3)
+    system = RowaaSystem(
+        kernel,
+        n_sites=3,
+        items={f"X{i}": 0 for i in range(N_ITEMS)},
+        latency=ConstantLatency(1.0),
+        detection_delay=5.0,
+        rowaa_config=RowaaConfig(copier_mode="eager", identify_mode=identify_mode),
+    )
+    system.boot()
+
+    system.crash(3)
+    kernel.run(until=40)
+    for index in range(UPDATED_DURING_OUTAGE):
+        kernel.run(system.submit(1, write_program(f"X{index}", index + 1)))
+
+    print(f"--- identify_mode = {identify_mode} ---")
+    power_at = kernel.now
+    print(f"[t={power_at:6.1f}] site 3 powers on (state: recovering, as[3]=0)")
+    record = kernel.run(system.power_on(3))
+    print(f"[t={record.identified_at:6.1f}] step 2 done: marked "
+          f"{record.marked_items}/{N_ITEMS} copies unreadable "
+          f"({UPDATED_DURING_OUTAGE} actually missed updates)")
+    print(f"[t={record.operational_at:6.1f}] type-1 committed on attempt "
+          f"{record.type1_attempts}: session {record.session_number} announced; "
+          "site 3 accepts user transactions NOW")
+    kernel.run(until=kernel.now + 300)
+    copiers = system.copiers[3]
+    drained = copiers.drained_at
+    print(f"[t={drained:6.1f}] background copiers done: "
+          f"{copiers.stats.copies_performed} copied, "
+          f"{copiers.stats.copies_skipped_version} skipped by version match")
+    print(f"    time-to-operational: {record.time_to_operational:.1f}   "
+          f"time-to-caught-up: {drained - power_at:.1f}\n")
+    system.stop()
+
+
+def main():
+    for mode in ("mark-all", "fail-locks", "missing-lists"):
+        one_run(mode)
+    print("Note how the choice changes only the background copier work")
+    print("(and the step-2 chatter) — time-to-operational stays flat,")
+    print("which is the paper's headline property.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Legacy setup shim.
+
+The execution environment has setuptools but no ``wheel`` package, so PEP
+517 editable installs (which build a wheel) fail. This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` work offline.
+Project metadata lives in pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.11",
+)

@@ -1,0 +1,37 @@
+"""repro — reproduction of Bhargava & Ruan (1986) site recovery.
+
+A complete replicated distributed database system with the paper's
+session-number recovery protocol, built on a deterministic discrete-
+event simulator. See README.md for the package map and DESIGN.md for
+the paper-to-module correspondence.
+
+The most common entry points are re-exported here::
+
+    from repro import Kernel, RowaaSystem
+
+    kernel = Kernel(seed=7)
+    system = RowaaSystem(kernel, n_sites=3, items={"X": 0})
+    system.boot()
+"""
+
+from repro.core.config import RowaaConfig
+from repro.core.system import RowaaSystem
+from repro.errors import ReproError, TransactionAborted
+from repro.sim.kernel import Kernel
+from repro.storage.catalog import Catalog
+from repro.system import DatabaseSystem
+from repro.txn.config import TxnConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Catalog",
+    "DatabaseSystem",
+    "Kernel",
+    "ReproError",
+    "RowaaConfig",
+    "RowaaSystem",
+    "TransactionAborted",
+    "TxnConfig",
+    "__version__",
+]

@@ -1,0 +1,118 @@
+"""Quorum consensus (weighted majority voting, Gifford-style).
+
+The classic availability yardstick for experiment E1: both reads and
+writes need a majority of an item's copies, so each operation tolerates
+⌈n/2⌉−1 copy failures — symmetric, but strictly worse write availability
+than ROWAA (one live copy suffices there) and strictly worse read
+availability than both ROWA variants.
+
+No recovery machinery is needed: a rejoining site's stale copies are
+out-voted by version comparison inside every read quorum, and the next
+write through the site refreshes them. That simplicity is the scheme's
+selling point; the cost is paid on every single operation instead.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import NetworkError, TotalFailure, TransactionError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.txn.context import TxnContext
+
+
+def majority(n: int) -> int:
+    return n // 2 + 1
+
+
+class QuorumConsensus:
+    """Read-quorum/write-quorum interpretation of logical operations.
+
+    Parameters
+    ----------
+    read_quorum_of, write_quorum_of:
+        Optional functions from replication degree to quorum size;
+        default simple majority for both (r + w > n and w + w > n).
+    """
+
+    name = "quorum"
+
+    def __init__(
+        self,
+        read_quorum_of: typing.Callable[[int], int] = majority,
+        write_quorum_of: typing.Callable[[int], int] = majority,
+    ) -> None:
+        self.read_quorum_of = read_quorum_of
+        self.write_quorum_of = write_quorum_of
+
+    def begin(self, ctx: "TxnContext") -> typing.Generator:
+        yield from ()
+
+    def read(self, ctx: "TxnContext", item: str) -> typing.Generator:
+        """Collect a read quorum; return the highest-version value."""
+        home = ctx.tm.site_id
+        resident = sorted(
+            ctx.tm.catalog.sites_of(item), key=lambda site: (site != home, site)
+        )
+        needed = self.read_quorum_of(len(resident))
+        votes: list[tuple[object, object]] = []
+        for site in resident:
+            try:
+                value, version = yield from ctx.dm_read(site, item, expected=None)
+            except (NetworkError, TransactionError):
+                continue
+            votes.append((version, value))
+            if len(votes) >= needed:
+                break
+        if len(votes) < needed:
+            raise TotalFailure(item)
+        _best_version, best_value = max(votes, key=lambda vote: vote[0])  # type: ignore[arg-type]
+        return best_value
+
+    def write(self, ctx: "TxnContext", item: str, value: object) -> typing.Generator:
+        """Buffer the write at a write quorum of copies."""
+        home = ctx.tm.site_id
+        resident = sorted(
+            ctx.tm.catalog.sites_of(item), key=lambda site: (site != home, site)
+        )
+        needed = self.write_quorum_of(len(resident))
+        acked = 0
+        futures = [
+            (site, ctx.tm.rpc.call(
+                site,
+                "dm.write",
+                self._write_request(ctx, site, item, value),
+                timeout=ctx.tm.config.rpc_timeout,
+            ))
+            for site in resident
+        ]
+        for site, future in futures:
+            ctx.txn.touched_sites.add(site)
+        failures = 0
+        for site, future in futures:
+            try:
+                yield future
+            except (NetworkError, TransactionError):
+                failures += 1
+                if failures > len(resident) - needed:
+                    raise TotalFailure(item)
+                continue
+            ctx.txn.wrote_sites.add(site)
+            acked += 1
+        if acked < needed:
+            raise TotalFailure(item)
+        return None
+
+    @staticmethod
+    def _write_request(ctx: "TxnContext", site: int, item: str, value: object):
+        from repro.txn.payloads import WriteRequest
+
+        return WriteRequest(
+            txn_id=ctx.txn.txn_id,
+            txn_seq=ctx.txn.seq,
+            kind=ctx.txn.kind.value,
+            item=item,
+            value=value,
+            expected=None,
+        )

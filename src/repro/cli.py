@@ -1,0 +1,138 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro e1 [--seed 3] [--scale small|full]
+    python -m repro all --scale small
+
+Each experiment prints the table documented in EXPERIMENTS.md; ``small``
+scale finishes in a few seconds per experiment, ``full`` matches the
+recorded tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+import typing
+
+from repro.harness.experiments import (
+    e1_availability,
+    e2_resume,
+    e3_overhead,
+    e4_copiers,
+    e5_identification,
+    e6_multifailure,
+    e7_control_cost,
+    e8_serializability,
+)
+
+Runner = typing.Callable[..., object]
+
+EXPERIMENTS: dict[str, dict] = {
+    "e1": {
+        "module": e1_availability,
+        "title": "availability vs failed sites",
+        "full": dict(n_sites=5, replication=3, n_items=12, max_failed=4,
+                     load_duration=300.0),
+        "small": dict(n_sites=4, replication=2, n_items=8, max_failed=2,
+                      load_duration=150.0),
+    },
+    "e2": {
+        "module": e2_resume,
+        "title": "recovery latency vs missed updates",
+        "full": dict(n_items=24, missed_updates=(0, 8, 24, 48)),
+        "small": dict(n_items=12, missed_updates=(0, 6, 12)),
+    },
+    "e3": {
+        "module": e3_overhead,
+        "title": "failure-free overhead",
+        "full": dict(site_counts=(3, 5, 7), load_duration=400.0, repeats=3),
+        "small": dict(site_counts=(3,), load_duration=200.0, repeats=1),
+    },
+    "e4": {
+        "module": e4_copiers,
+        "title": "copier scheduling strategies",
+        "full": dict(n_items=24, stale_fraction=0.5, read_duration=500.0),
+        "small": dict(n_items=12, stale_fraction=0.5, read_duration=250.0),
+    },
+    "e5": {
+        "module": e5_identification,
+        "title": "out-of-date identification policies",
+        "full": dict(n_items=24, update_fractions=(0.125, 0.5, 1.0)),
+        "small": dict(n_items=12, update_fractions=(0.25, 1.0)),
+    },
+    "e6": {
+        "module": e6_multifailure,
+        "title": "multiple/cascading failures",
+        "full": dict(trials=6),
+        "small": dict(trials=2),
+    },
+    "e7": {
+        "module": e7_control_cost,
+        "title": "control/status maintenance cost",
+        "full": dict(item_counts=(4, 16, 48)),
+        "small": dict(item_counts=(4, 16)),
+    },
+    "e8": {
+        "module": e8_serializability,
+        "title": "one-serializability under failures",
+        "full": dict(trials=5, duration=800.0),
+        "small": dict(trials=2, duration=400.0),
+    },
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction experiments for Bhargava & Ruan (1986), "
+        "'Site Recovery in Replicated Distributed Database Systems'.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (e1..e8), 'all', or 'list'",
+    )
+    parser.add_argument("--seed", type=int, default=3, help="master seed")
+    parser.add_argument(
+        "--scale", choices=("small", "full"), default="small",
+        help="parameter scale (default: small)",
+    )
+    return parser
+
+
+def run_one(name: str, seed: int, scale: str) -> None:
+    """Run one experiment and print its table."""
+    spec = EXPERIMENTS[name]
+    params = dict(spec[scale])
+    start = time.time()
+    table = spec["module"].run(seed=seed, **params)
+    print(table.render())
+    print(f"({name} at scale={scale}, seed={seed}, "
+          f"{time.time() - start:.1f}s wall)\n")
+
+
+def main(argv: typing.Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    name = args.experiment.lower()
+    if name == "list":
+        for key, spec in EXPERIMENTS.items():
+            print(f"{key}  {spec['title']}")
+        return 0
+    if name == "all":
+        for key in EXPERIMENTS:
+            run_one(key, args.seed, args.scale)
+        return 0
+    if name not in EXPERIMENTS:
+        print(f"unknown experiment {name!r}; try 'list'", file=sys.stderr)
+        return 2
+    run_one(name, args.seed, args.scale)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,257 @@
+"""Copier transactions (§3.2) and their scheduling (§5 tradeoffs).
+
+A copier refreshes one unreadable copy: it reads the local nominal
+session vector, locates a readable copy of the item at a nominally up
+site, and renovates the local copy — carrying the source *version*
+across so READ-FROM provenance is preserved (§4). With
+``version_skip`` enabled it first peeks at the local version and, when
+the copy turns out to be current already, clears the mark without moving
+data (the paper's §5 observation about version numbers).
+
+Scheduling (§3.2: "may influence the performance but not the
+correctness"): *eager* — the recovery procedure enqueues copiers for all
+unreadable copies; *demand* — a read rejected by an unreadable copy
+triggers one. Both run as ordinary transactions, concurrently with user
+load, only after the recovering site has become operational.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import typing
+
+from repro.core.config import RowaaConfig
+from repro.core.nominal import is_ns_item, ns_item
+from repro.errors import (
+    CopyUnreadable,
+    NetworkError,
+    TotalFailure,
+    TransactionAborted,
+    TransactionError,
+)
+from repro.sim.kernel import Kernel
+from repro.txn.data_manager import DataManager
+from repro.txn.manager import TransactionManager
+from repro.txn.transaction import TxnKind
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.site.site import Site
+    from repro.txn.context import TxnContext
+
+
+@dataclasses.dataclass
+class CopierStats:
+    """Work accounting for experiments E4/E5."""
+
+    copies_performed: int = 0
+    copies_skipped_version: int = 0  # §5 optimisation hits
+    cleared_by_user_write: int = 0
+    copier_aborts: int = 0
+    total_failures: int = 0
+    resurrections: int = 0  # totally-failed items revived by version vote
+    bytes_copied: int = 0  # unit-sized values: counts data transfers
+
+
+class CopierService:
+    """Schedules and runs copier transactions at one site."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        site: "Site",
+        dm: DataManager,
+        tm: TransactionManager,
+        config: RowaaConfig,
+        max_attempts: int = 10,
+    ) -> None:
+        self.kernel = kernel
+        self.site = site
+        self.dm = dm
+        self.tm = tm
+        self.config = config
+        self.max_attempts = max_attempts
+        self.stats = CopierStats()
+        self.drained_at: float | None = None
+        self._inflight: set[str] = set()
+        if config.copier_mode in ("demand", "both"):
+            dm.unreadable_read_hooks.append(self._on_demand_trigger)
+        site.crash_hooks.append(self._inflight.clear)
+
+    # -- scheduling ------------------------------------------------------------
+
+    def reset_drain_marker(self) -> None:
+        """Forget the previous recovery's drain time (new recovery epoch)."""
+        self.drained_at = None
+
+    def retry_unreadable(self) -> None:
+        """Re-enqueue copiers for still-unreadable copies.
+
+        Called when *another* site recovers: copies whose refresh hit
+        "totally failed" (no readable source) may be refreshable now.
+        Respects the copier mode — demand-only systems rely on reads.
+        """
+        if not self.site.is_operational:
+            return
+        if self.config.copier_mode in ("eager", "both"):
+            self.start_eager()
+
+    def start_eager(self) -> None:
+        """Enqueue copiers for every currently unreadable copy.
+
+        Called by the recovery manager right after the site becomes
+        operational (never before: copiers are ordinary transactions).
+        """
+        if self.config.copier_mode not in ("eager", "both"):
+            return
+        pending = collections.deque(
+            item for item in self.site.copies.unreadable_items() if not is_ns_item(item)
+        )
+        if not pending:
+            self._check_drained()
+            return
+        for _lane in range(min(self.config.copier_concurrency, len(pending))):
+            self.site.spawn(self._eager_lane(pending), name="copier-lane")
+
+    def _eager_lane(self, pending: collections.deque) -> typing.Generator:
+        while pending:
+            item = pending.popleft()
+            yield from self._refresh_item(item)
+
+    def _on_demand_trigger(self, item: str) -> None:
+        if is_ns_item(item) or item in self._inflight:
+            return
+        if not self.site.is_operational:
+            return
+        self.site.spawn(self._refresh_item(item), name=f"copier:{item}")
+
+    # -- execution ---------------------------------------------------------------
+
+    def _refresh_item(self, item: str) -> typing.Generator:
+        if item in self._inflight:
+            return
+        self._inflight.add(item)
+        try:
+            yield from self._refresh_item_inner(item)
+        finally:
+            self._inflight.discard(item)
+        self._check_drained()
+
+    def _refresh_item_inner(self, item: str) -> typing.Generator:
+        for _attempt in range(self.max_attempts):
+            if not self.site.copies.has(item):
+                return
+            if not self.site.copies.get(item).unreadable:
+                self.stats.cleared_by_user_write += 1
+                return  # a user write beat us to it (§3.2)
+            try:
+                outcome = yield from self.tm.run(
+                    self._copier_program(item), kind=TxnKind.COPIER
+                )
+            except TransactionAborted as exc:
+                if isinstance(exc.__cause__, TotalFailure):
+                    # No readable copy anywhere operational: the paper
+                    # defers this to a separate protocol (§3.2); keep the
+                    # mark and report.
+                    self.stats.total_failures += 1
+                    return
+                self.stats.copier_aborts += 1
+                yield self.kernel.timeout(self.config.copier_retry_delay)
+                continue
+            if outcome == "copied":
+                self.stats.copies_performed += 1
+                self.stats.bytes_copied += 1
+            elif outcome == "resurrected":
+                self.stats.resurrections += 1
+            else:
+                self.stats.copies_skipped_version += 1
+            return
+        self.stats.total_failures += 1
+
+    def _copier_program(self, item: str):
+        service = self
+
+        def program(ctx: "TxnContext") -> typing.Generator:
+            home = ctx.tm.site_id
+            view: dict[int, int] = {}
+            for site_id in ctx.tm.catalog.site_ids:
+                value, _version = yield from ctx.dm_read(home, ns_item(site_id))
+                view[site_id] = int(value)  # type: ignore[call-overload]
+
+            local_value, local_version = yield from ctx.dm_read(
+                home, item, expected=view.get(home), peek_unreadable=True
+            )
+
+            resident = ctx.tm.catalog.sites_of(item)
+            candidates = sorted(
+                site for site in resident if site != home and view.get(site, 0) != 0
+            )
+            source_value = source_version = None
+            for site in candidates:
+                try:
+                    source_value, source_version = yield from ctx.dm_read(
+                        site, item, expected=view[site]
+                    )
+                    break
+                except (CopyUnreadable, NetworkError, TransactionError):
+                    continue
+            if source_version is None:
+                # No readable copy anywhere. The paper defers "totally
+                # failed" items to a separate protocol (§3.2); ours is the
+                # version vote: when EVERY resident site is nominally up,
+                # the highest version among all (unreadable) copies is
+                # provably the latest committed one — every committed
+                # write reached at least one of these stable stores — so
+                # it can be resurrected. With residents still down we must
+                # keep waiting (a newer version may live there).
+                if any(view.get(site, 0) == 0 for site in resident):
+                    raise TotalFailure(item)
+                best_value, best_version = local_value, local_version
+                for site in candidates:
+                    value, version = yield from ctx.dm_read(
+                        site, item, expected=view[site], peek_unreadable=True
+                    )
+                    if version > best_version:
+                        best_value, best_version = value, version
+                yield from ctx.dm_write(
+                    home,
+                    item,
+                    best_value,
+                    expected=view.get(home),
+                    version_override=best_version,  # type: ignore[arg-type]
+                    applied_sites=(home,),
+                )
+                return "resurrected"
+
+            if service.config.version_skip and source_version == local_version:
+                # §5: versions match — no data transfer needed, just clear
+                # the mark (still a locked, committed write of the same
+                # value, so concurrency control sees it normally).
+                yield from ctx.dm_write(
+                    home,
+                    item,
+                    local_value,
+                    expected=view.get(home),
+                    version_override=local_version,  # type: ignore[arg-type]
+                    applied_sites=(home,),
+                )
+                return "skipped"
+
+            yield from ctx.dm_write(
+                home,
+                item,
+                source_value,
+                expected=view.get(home),
+                version_override=source_version,  # type: ignore[arg-type]
+                applied_sites=(home,),
+            )
+            return "copied"
+
+        return program
+
+    def _check_drained(self) -> None:
+        unreadable = [
+            item for item in self.site.copies.unreadable_items() if not is_ns_item(item)
+        ]
+        if not unreadable and self.drained_at is None:
+            self.drained_at = self.kernel.now

@@ -1,0 +1,105 @@
+"""Identifying out-of-date copies at recovery (§3.4 step 2, §5).
+
+The basic algorithm "simply assumes that all data at the recovering site
+are out-of-date"; the §5 refinements track precisely which copies missed
+updates so recovery marks (and copiers later refresh) only those. The
+algorithm "can choose many different methods" — the policy is pluggable:
+
+* :class:`MarkAllPolicy` — the conservative baseline;
+* :class:`~repro.core.faillock.FailLockPolicy` — stable fail-lock tables;
+* :class:`~repro.core.missinglist.MissingListPolicy` — volatile missing
+  lists with the §5 add/remove rules.
+
+A policy has two halves: a per-site *tracker* fed by the DM on every
+committed write (``on_commit_write(item, applied, missed, value, version)``),
+and a *collect* step run by the recovering site to compute the items to
+mark. Soundness requirement: every item that missed a committed update
+during the outage must be in the returned set (over-approximation is
+allowed and costs only copier work — experiment E5 measures exactly
+that).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.nominal import is_ns_item
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.recovery import RecoveryManager
+
+
+class IdentificationPolicy(typing.Protocol):
+    """Pluggable step-2 policy (see module docstring)."""
+
+    name: str
+
+    def on_commit_write(
+        self,
+        item: str,
+        applied_sites: tuple[int, ...],
+        missed_sites: tuple[int, ...],
+        value: object = None,
+        version: object = None,
+    ) -> None:
+        """Tracker half: called by the local DM at commit application."""
+        ...  # pragma: no cover - protocol
+
+    def collect_stale(self, manager: "RecoveryManager") -> typing.Generator:
+        """Recovery half: return the local items to mark unreadable.
+
+        Runs as a plain simulated process (may issue RPCs); returns an
+        iterable of item names. Must be read-only with respect to remote
+        tracker state: destructive cleanup belongs in
+        :meth:`after_marked`, which runs only once the unreadable marks
+        are safely (stably) applied — otherwise a crash between the two
+        steps loses the staleness knowledge.
+        """
+        ...  # pragma: no cover - protocol
+
+    def after_marked(
+        self, manager: "RecoveryManager", items: typing.Sequence[str]
+    ) -> typing.Generator:
+        """Cleanup after the marks are applied (e.g. clear remote entries)."""
+        ...  # pragma: no cover - protocol
+
+
+class MarkAllPolicy:
+    """§3.4's conservative default: every local copy may be stale.
+
+    Nominal-session items are exempt — the type-1 control transaction
+    refreshes them before any user transaction can run at this site.
+    """
+
+    name = "mark-all"
+    #: Mark-all marks everything up front, so no write committed during
+    #: the recovery window can slip through unmarked. The precise
+    #: policies track *misses*, and a write serialized between their
+    #: collection pass and the type-1 commit records a miss they have
+    #: not seen yet — they need a delta pass after the announcement
+    #: (see RecoveryManager._recover and DESIGN.md §6).
+    needs_post_announce_pass = False
+
+    def on_commit_write(
+        self,
+        item: str,
+        applied_sites: tuple[int, ...],
+        missed_sites: tuple[int, ...],
+        value: object = None,
+        version: object = None,
+    ) -> None:
+        return  # nothing to track
+
+    def collect_stale(self, manager: "RecoveryManager") -> typing.Generator:
+        yield from ()
+        return [
+            item
+            for item in manager.site.copies.items()
+            if not is_ns_item(item)
+        ]
+
+    def after_marked(
+        self, manager: "RecoveryManager", items: typing.Sequence[str]
+    ) -> typing.Generator:
+        yield from ()
+        return None

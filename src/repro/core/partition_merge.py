@@ -1,0 +1,211 @@
+"""Partition tolerance and merging — the §6 future-work direction.
+
+The paper stops at crash failures and sketches the rest: "the solution
+to the site failure problem and the concept of nominal session numbers
+are applicable to the merging of network partitions ... When a site
+obtains all updates from another partition, it is considered integrated
+in one direction." This module is a working prototype of that sketch,
+using the *primary-partition* rule in place of the true-copy tokens of
+[7] (the simplest sound way to decide who may keep updating):
+
+* every operational site periodically probes its peers;
+* a site that can reach a strict **majority** of sites treats the
+  unreachable ones as down — the existing failure-detection machinery
+  then runs the ordinary type-2 exclusions, and the majority side keeps
+  serving at full ROWAA availability;
+* a site that cannot reach a majority **freezes**: it refuses user
+  transactions but keeps its session (it has no way to distinguish
+  "I am partitioned off" from "everyone else died", and committing in a
+  minority could diverge — this is exactly why the paper's crash-only
+  model forbids suspicion on timeouts alone; the majority gate restores
+  soundness because a frozen minority can commit nothing for a type-2
+  to contradict);
+* on heal, a frozen site asks a reachable peer how the system sees it:
+  if its nominal session number is unchanged it simply thaws (nothing
+  happened — e.g. an even split froze everyone); if it was excluded, it
+  demotes itself and runs the *ordinary §3.4 recovery procedure* — the
+  paper's "integration in one direction", verbatim: mark, type-1,
+  copiers.
+
+The merge needs no new protocol at all — that is the §6 thesis, and it
+holds for clean partition episodes (split → exclusions → heal →
+reintegration; `tests/core/test_partition_merge.py` verifies full
+one-serializability for them).
+
+**Known limitation, deliberately documented rather than papered over:**
+membership here is verified by *polling*, so a site reconnected by an
+adversarially-timed heal can serve a few transactions from its stale
+world before its next verification tick demotes it — a lost-update
+window that the randomized chaos soak reliably exhibits. Closing it
+requires leased membership (a site serves only while holding an
+unexpired majority-granted lease) or consensus-managed views — machinery
+far beyond the paper's 1986 toolbox, which is presumably why §6 ends
+with "full details have not been worked out". Under chaos the prototype
+still guarantees recovered convergence: every site rejoins, replicas
+converge, and the Theorem-3 invariant stays intact
+(`tests/core/test_partition_soak.py`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.core.nominal import ns_item
+from repro.errors import NetworkError, TransactionError
+from repro.site.site import Site, SiteStatus
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.system import RowaaSystem
+
+
+@dataclasses.dataclass
+class PartitionConfig:
+    """Tunables of the majority-partition service."""
+
+    probe_interval: float = 15.0
+    ping_timeout: float = 6.0  # > 1 round trip between live sites
+
+
+class MajorityPartitionService:
+    """One site's partition watchdog (see module docstring)."""
+
+    def __init__(
+        self, system: "RowaaSystem", site: Site, config: PartitionConfig
+    ) -> None:
+        self.system = system
+        self.site = site
+        self.config = config
+        self.freezes = 0
+        self.thaws = 0
+        self.demotions = 0
+        site.rpc.register("ns.peek", self._handle_peek)
+        site.power_on_hooks.append(self._spawn_loop)
+        if not site.is_down:
+            self._spawn_loop()
+
+    def _handle_peek(self, target: int, src: int) -> int:
+        """A peer asks how this site's nominal vector sees ``target``."""
+        item = ns_item(target)
+        if not self.site.copies.has(item):
+            return 0
+        return int(self.site.copies.get(item).value)  # type: ignore[call-overload]
+
+    @property
+    def _majority(self) -> int:
+        return len(self.system.cluster.site_ids) // 2 + 1
+
+    def _spawn_loop(self) -> None:
+        self.site.spawn(self._loop(), name="partition-watchdog")
+
+    def _loop(self) -> typing.Generator:
+        kernel = self.system.kernel
+        while True:
+            yield kernel.timeout(self.config.probe_interval)
+            reachable, unreachable = yield from self._probe_all()
+            if len(reachable) >= self._majority:
+                yield from self._majority_side(reachable, unreachable)
+            else:
+                self._minority_side()
+
+    def _probe_all(self) -> typing.Generator:
+        me = self.site.site_id
+        reachable, unreachable = {me}, set()
+        calls = [
+            (peer, self.site.rpc.call(peer, "recovery.probe", None,
+                                      timeout=self.config.ping_timeout))
+            for peer in self.system.cluster.site_ids
+            if peer != me
+        ]
+        for peer, future in calls:
+            try:
+                yield future
+            except (NetworkError, TransactionError):
+                unreachable.add(peer)
+                continue
+            reachable.add(peer)
+        return reachable, unreachable
+
+    # -- majority behaviour ------------------------------------------------------
+
+    def _majority_side(self, reachable: set, unreachable: set) -> typing.Generator:
+        if not self.site.is_operational:
+            return  # the normal recovery path is (or will be) running
+        demoted = yield from self._verify_membership(reachable)
+        if demoted or self.site.user_frozen:
+            return
+        detector = self.system.cluster.detector(self.site.site_id)
+        for peer in sorted(reachable - {self.site.site_id}):
+            if not detector.believes_up(peer):
+                # Reconnection withdraws the suspicion: pending exclusion
+                # loops abandon (they re-check the detector), and the
+                # in-transaction confirm_down ping catches any already in
+                # flight.
+                detector.mark_up(peer)
+        for peer in sorted(unreachable):
+            if detector.believes_up(peer):
+                # Majority-gated suspicion: the peer is either down or
+                # frozen in a minority — either way it cannot commit, so
+                # the ordinary exclusion machinery (type-2, incarnation-
+                # bound) applies safely.
+                detector.mark_down(peer)
+        return None
+
+    def _verify_membership(self, reachable: set) -> typing.Generator:
+        """Confirm with peers that this site is still nominally up.
+
+        Runs on EVERY majority-side tick, frozen or not: an excluded
+        site that has not yet noticed (e.g. overlapping partitions made
+        the exclusion commit while it believed itself a majority member)
+        must not keep acting as a full citizen — in the soak such a site
+        kept initiating control transactions and serving clients from a
+        diverging world.
+
+        The verdict is by MAJORITY: fellow stale sites can echo an old
+        value (they missed our type-1) or a stale 0 (they missed our
+        re-announcement), so neither a single match nor a single
+        mismatch proves anything. If a majority of sites (self
+        included) agrees with our current session we are a member; if a
+        majority of answers disagrees, we were excluded; anything in
+        between is inconclusive and we retry next tick.
+
+        Returns True if the site demoted itself.
+        """
+        me = self.site.site_id
+        verdicts = []
+        for peer in sorted(reachable - {me}):
+            try:
+                verdicts.append(
+                    (yield self.site.rpc.call(
+                        peer, "ns.peek", me, timeout=self.config.ping_timeout
+                    ))
+                )
+            except (NetworkError, TransactionError):
+                continue
+        current = self.system.sessions[me].current
+        agreeing = 1 + sum(1 for verdict in verdicts if verdict == current)
+        disagreeing = len(verdicts) + 1 - agreeing
+        if agreeing >= self._majority:
+            if self.site.user_frozen:
+                # A membership majority still knows us (e.g. an even
+                # split froze everyone and nothing changed): just thaw.
+                self.site.user_frozen = False
+                self.thaws += 1
+            return False
+        if disagreeing < self._majority:
+            return False  # inconclusive; stay as we are, retry next tick
+        # We were excluded: demote and run the ordinary §3.4 procedure —
+        # "integration in one direction" exactly as §6 prescribes.
+        self.demotions += 1
+        self.site.user_frozen = False
+        self.system.dms[me].actual_session = 0
+        self.site.status = SiteStatus.RECOVERING
+        self.system.recoveries[me].start()
+        return True
+
+    # -- minority behaviour ------------------------------------------------------
+
+    def _minority_side(self) -> None:
+        if self.site.is_operational and not self.site.user_frozen:
+            self.site.user_frozen = True
+            self.freezes += 1

@@ -1,0 +1,129 @@
+"""The ROWAA interpretation of logical operations (§3.2).
+
+Every user transaction implicitly reads its home site's copy of the
+nominal session vector before any other operation; that view is used
+throughout:
+
+    READ(X)  = ∨ { read(x_k)  : x_k ∈ X and ns_i[k] ≠ 0 }
+    WRITE(X) = ∧ { write(x_k) : x_k ∈ X and ns_i[k] ≠ 0 }
+
+Each physical request carries ``ns_i[k]``; the target DM rejects on
+mismatch with ``as[k]`` (implemented in
+:class:`~repro.txn.data_manager.DataManager`). A read that hits an
+unreadable copy either *redirects* to another copy or *waits* for the
+copier, per configuration — the paper leaves this choice open.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.config import RowaaConfig
+from repro.core.nominal import ns_item
+from repro.errors import (
+    CopyUnreadable,
+    NetworkError,
+    TotalFailure,
+    TransactionError,
+)
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.txn.context import TxnContext
+
+
+class RowaaStrategy:
+    """Read-one/write-all-available with nominal session numbers."""
+
+    name = "rowaa"
+
+    def __init__(self, config: RowaaConfig | None = None) -> None:
+        self.config = config if config is not None else RowaaConfig()
+
+    # -- the implicit begin read (§3.2) ---------------------------------------
+
+    def begin(self, ctx: "TxnContext") -> typing.Generator:
+        """Read the local nominal session vector into ``ctx.view``.
+
+        These are ordinary S-locked reads of the NS copies at the home
+        site (so they conflict with control transactions, which is what
+        Theorem 3's proof leans on), but they are local: no network
+        round trips, which is why the paper calls the overhead
+        negligible (§6).
+        """
+        home = ctx.tm.site_id
+        for site_id in ctx.tm.catalog.site_ids:
+            value, _version = yield from ctx.dm_read(home, ns_item(site_id))
+            ctx.view[site_id] = int(value)  # type: ignore[call-overload]
+        return None
+
+    # -- logical operations ----------------------------------------------------
+
+    def _read_candidates(self, ctx: "TxnContext", item: str) -> list[int]:
+        home = ctx.tm.site_id
+        sites = [
+            site for site in ctx.tm.catalog.sites_of(item) if ctx.view.get(site, 0) != 0
+        ]
+        preference = self.config.read_preference
+        if preference == "local":
+            return sorted(sites, key=lambda site: (site != home, site))
+        if preference == "primary":
+            return sorted(sites)
+        if preference == "random":
+            rng = ctx.tm.kernel.rng.stream("rowaa.read")
+            rng.shuffle(sites)
+            return sites
+        raise ValueError(f"unknown read_preference {preference!r}")
+
+    def read(self, ctx: "TxnContext", item: str) -> typing.Generator:
+        candidates = self._read_candidates(ctx, item)
+        if not candidates:
+            raise TotalFailure(item)
+        last_error: Exception | None = None
+        for site in candidates[: ctx.tm.config.max_read_attempts]:
+            try:
+                value, _version = yield from ctx.dm_read(
+                    site, item, expected=ctx.view[site]
+                )
+                return value
+            except CopyUnreadable as exc:
+                last_error = exc
+                if self.config.unreadable_policy == "wait":
+                    result = yield from self._wait_for_copier(ctx, site, item)
+                    if result is not None:
+                        return result[0]
+            except (NetworkError, TransactionError) as exc:
+                last_error = exc
+        assert last_error is not None
+        raise last_error
+
+    def _wait_for_copier(
+        self, ctx: "TxnContext", site: int, item: str
+    ) -> typing.Generator:
+        """Retry the same copy while the (triggered) copier renovates it.
+
+        Returns ``(value,)`` on success or ``None`` to fall through to
+        the next candidate copy.
+        """
+        for _attempt in range(self.config.unreadable_wait_attempts):
+            yield ctx.tm.kernel.timeout(self.config.unreadable_wait)
+            try:
+                value, _version = yield from ctx.dm_read(
+                    site, item, expected=ctx.view[site]
+                )
+                return (value,)
+            except CopyUnreadable:
+                continue
+            except (NetworkError, TransactionError):
+                return None
+        return None
+
+    def write(self, ctx: "TxnContext", item: str, value: object) -> typing.Generator:
+        resident = ctx.tm.catalog.sites_of(item)
+        targets = [
+            (site, ctx.view[site]) for site in resident if ctx.view.get(site, 0) != 0
+        ]
+        if not targets:
+            raise TotalFailure(item)
+        missed = tuple(site for site in resident if ctx.view.get(site, 0) == 0)
+        yield from ctx.dm_write_all(targets, item, value, missed_sites=missed)
+        return None

@@ -1,0 +1,84 @@
+"""Actual session numbers ``as[k]`` (§3.1).
+
+The actual session number is "a variable shared by the TM and DM at site
+k" — here the DM holds it (:attr:`DataManager.actual_session`) and the
+TM reads it through this manager. The *last used* session number is kept
+in stable storage "so that the next time the site recovers, a new
+session number can be assigned correctly"; zero is reserved for
+not-operational, and numbers increase monotonically over a site's
+lifetime (the paper permits recycling; we do not need it).
+"""
+
+from __future__ import annotations
+
+from repro.site.site import Site
+from repro.txn.data_manager import DataManager
+
+_STABLE_KEY = "session.last"
+_STABLE_STARTED = "session.started_at"
+
+
+class SessionManager:
+    """Owns session-number assignment for one site.
+
+    Parameters
+    ----------
+    site, dm:
+        The owning site and its data manager (holder of ``as[k]``).
+    modulus:
+        Optional recycling bound (§3.1: "In practice, session numbers
+        can be recycled. Two different sessions can have the same
+        session number as long as no single transaction is alive in
+        both sessions."). With a modulus M, sessions cycle through
+        1..M; the caller is responsible for choosing M large enough
+        that no transaction can span M recoveries of one site — with
+        short transactions and non-trivial recovery times even M = 2
+        satisfies the paper's condition. ``None`` (default) never
+        recycles.
+    """
+
+    def __init__(self, site: Site, dm: DataManager, modulus: int | None = None) -> None:
+        if modulus is not None and modulus < 2:
+            raise ValueError(f"session modulus must be >= 2, got {modulus}")
+        self.site = site
+        self.dm = dm
+        self.modulus = modulus
+        # as[k] is volatile: the DM's crash hook resets it to 0.
+
+    @property
+    def current(self) -> int:
+        """The actual session number ``as[k]`` (0 when not operational)."""
+        return self.dm.actual_session
+
+    @property
+    def last_used(self) -> int:
+        """The most recent session number ever used (stable)."""
+        return int(self.site.stable.get(_STABLE_KEY, 0))  # type: ignore[arg-type]
+
+    @property
+    def session_started_at(self) -> float | None:
+        """Stable record of when the current/last session began.
+
+        Used by the missing-list refinement to bound the outage window
+        (see :mod:`repro.core.missinglist`).
+        """
+        return self.site.stable.get(_STABLE_STARTED)  # type: ignore[return-value]
+
+    def choose_next(self) -> int:
+        """Reserve the next session number (recovery step 3, §3.4).
+
+        Persisted before use: even if the site crashes immediately
+        after, the number is never reused *within the recycling window*
+        (never at all when ``modulus`` is None). Zero is reserved for
+        not-operational and is skipped when wrapping.
+        """
+        next_number = self.last_used + 1
+        if self.modulus is not None and next_number > self.modulus:
+            next_number = 1
+        self.site.stable.put(_STABLE_KEY, next_number)
+        return next_number
+
+    def activate(self, session_number: int, now: float) -> None:
+        """Load ``as[k]`` with the new number (recovery step 4, §3.4)."""
+        self.dm.actual_session = session_number
+        self.site.stable.put(_STABLE_STARTED, now)

@@ -1,0 +1,1 @@
+"""Experiment definitions E1–E8 (see DESIGN.md §3 for the index)."""

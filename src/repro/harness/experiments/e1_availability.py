@@ -1,0 +1,95 @@
+"""E1 — availability vs number of failed sites.
+
+Paper claim (§1, §6): ROWAA "provides a high degree of availability";
+a logical operation succeeds "as long as one of its copies is in an
+operational site and the transaction knows the site's session number".
+
+Design: n sites, k-way replication; crash f sites; after the failure
+handling settles, drive pure-read and pure-write clients from the
+surviving sites and report the committed fraction per scheme.
+
+Expected shape: write availability — ROWA collapses as soon as any
+replica of a touched item is down; quorum survives up to minority loss;
+ROWAA (and directories) stay high until an item loses its last copy.
+Read availability — everyone reads one copy, so all schemes degrade only
+with total item failure (quorum earlier: it needs a read majority).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.harness.runner import build_scheme, replicated_catalog, settle
+from repro.harness.tables import Table
+from repro.workload import ClientPool, WorkloadGenerator, WorkloadSpec
+
+SCHEMES = ("rowaa", "rowa", "quorum", "directories")
+
+
+def run(
+    seed: int = 0,
+    n_sites: int = 5,
+    replication: int = 3,
+    n_items: int = 20,
+    max_failed: int | None = None,
+    load_duration: float = 400.0,
+    schemes: tuple[str, ...] = SCHEMES,
+) -> Table:
+    """Availability table over (scheme × failed-site count)."""
+    if max_failed is None:
+        max_failed = n_sites - 1
+    table = Table(
+        "E1: operation availability vs failed sites "
+        f"(n={n_sites}, replication={replication})",
+        ["scheme", "failed", "read_availability", "write_availability", "refused"],
+    )
+    spec = WorkloadSpec(n_items=n_items, ops_per_txn=2, write_fraction=0.0)
+    for scheme in schemes:
+        for failed in range(0, max_failed + 1):
+            read_avail, write_avail, refused = _one_cell(
+                scheme, seed, n_sites, replication, spec, failed, load_duration
+            )
+            table.add_row(
+                scheme=scheme,
+                failed=failed,
+                read_availability=read_avail,
+                write_availability=write_avail,
+                refused=refused,
+            )
+    return table
+
+
+def _one_cell(scheme, seed, n_sites, replication, spec, failed, load_duration):
+    catalog = replicated_catalog(n_sites, spec.item_names(), replication, seed)
+    kernel, system = build_scheme(
+        scheme, seed * 101 + failed, n_sites, spec.initial_items(), catalog=catalog
+    )
+    # Crash the highest-numbered sites; clients live on survivors.
+    survivors = list(range(1, n_sites - failed + 1))
+    for site_id in range(n_sites - failed + 1, n_sites + 1):
+        system.crash(site_id)
+    settle(kernel, system, 80.0)  # detection + exclusion machinery
+
+    rng = random.Random(seed * 7 + failed)
+    read_spec = WorkloadSpec(
+        n_items=spec.n_items, ops_per_txn=2, write_fraction=0.0
+    )
+    write_spec = WorkloadSpec(
+        n_items=spec.n_items, ops_per_txn=2, write_fraction=1.0,
+        read_modify_write=False,
+    )
+    readers = ClientPool(
+        system, WorkloadGenerator(read_spec, rng), n_clients=4,
+        think_time=3.0, retries=1, home_sites=survivors,
+    )
+    writers = ClientPool(
+        system, WorkloadGenerator(write_spec, rng), n_clients=4,
+        think_time=3.0, retries=1, home_sites=survivors,
+    )
+    readers.start(load_duration)
+    writers.start(load_duration)
+    kernel.run(until=kernel.now + load_duration + 50)
+    system.stop()
+    kernel.run(until=kernel.now + 10)
+    refused = readers.stats.refused + writers.stats.refused
+    return readers.stats.availability, writers.stats.availability, refused

@@ -1,0 +1,52 @@
+"""Small statistics helpers and system-wide metric snapshots."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.system import DatabaseSystem
+
+
+def mean(values: typing.Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    return sum(values) / len(values) if values else 0.0
+
+
+def percentile(values: typing.Sequence[float], p: float) -> float:
+    """Nearest-rank percentile (p in [0, 100]); 0.0 for empty input."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if p <= 0:
+        return ordered[0]
+    if p >= 100:
+        return ordered[-1]
+    rank = max(0, min(len(ordered) - 1, round(p / 100 * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def tm_totals(system: DatabaseSystem) -> dict:
+    """Commit/abort totals and latency stats summed over all TMs."""
+    committed = sum(tm.stats.committed for tm in system.tms.values())
+    aborted = sum(tm.stats.aborted for tm in system.tms.values())
+    refused = sum(tm.stats.refused for tm in system.tms.values())
+    latencies: list[float] = []
+    for tm in system.tms.values():
+        latencies.extend(tm.stats.commit_latencies)
+    reasons: dict[str, int] = {}
+    for tm in system.tms.values():
+        for reason, count in tm.stats.aborts_by_reason.items():
+            reasons[reason] = reasons.get(reason, 0) + count
+    return {
+        "committed": committed,
+        "aborted": aborted,
+        "refused": refused,
+        "mean_latency": mean(latencies),
+        "p95_latency": percentile(latencies, 95),
+        "aborts_by_reason": reasons,
+    }
+
+
+def network_totals(system: DatabaseSystem) -> dict:
+    """Remote-message counters (local TM↔DM calls excluded)."""
+    return system.cluster.network.stats.snapshot()

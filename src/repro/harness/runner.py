@@ -1,0 +1,82 @@
+"""Shared plumbing for the experiment modules."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.baselines import (
+    build_directory_system,
+    build_naive_system,
+    build_quorum_system,
+    build_rowa_system,
+    build_rowaa_system,
+    build_spooler_system,
+)
+from repro.net.latency import ConstantLatency
+from repro.sim.kernel import Kernel
+from repro.storage.catalog import Catalog
+from repro.system import DatabaseSystem
+from repro.txn.config import TxnConfig
+
+SCHEME_BUILDERS: dict[str, typing.Callable[..., DatabaseSystem]] = {
+    "rowaa": build_rowaa_system,
+    "rowa": build_rowa_system,
+    "quorum": build_quorum_system,
+    "naive": build_naive_system,
+    "directories": build_directory_system,
+    "spooler": build_spooler_system,
+}
+
+DEFAULT_LATENCY = 1.0
+DEFAULT_DETECTION = 5.0
+
+
+def build_scheme(
+    scheme: str,
+    seed: int,
+    n_sites: int,
+    items: dict[str, object],
+    catalog: Catalog | None = None,
+    txn_config: TxnConfig | None = None,
+    **kwargs: typing.Any,
+) -> tuple[Kernel, DatabaseSystem]:
+    """One booted system of the named scheme on a fresh kernel."""
+    kernel = Kernel(seed=seed)
+    builder = SCHEME_BUILDERS[scheme]
+    system = builder(
+        kernel,
+        n_sites,
+        items,
+        catalog=catalog,
+        latency=ConstantLatency(DEFAULT_LATENCY),
+        detection_delay=DEFAULT_DETECTION,
+        config=txn_config if txn_config is not None else TxnConfig(rpc_timeout=25.0),
+        **kwargs,
+    )
+    return kernel, system
+
+
+def replicated_catalog(
+    n_sites: int, items: typing.Iterable[str], replication: int, seed: int
+) -> Catalog:
+    """Random ``replication``-way placement over ``n_sites``."""
+    import random
+
+    return Catalog.random_placement(
+        list(range(1, n_sites + 1)), items, replication, random.Random(seed)
+    )
+
+
+def settle(kernel: Kernel, system: DatabaseSystem, duration: float) -> None:
+    """Advance the clock (detector, control transactions, copiers)."""
+    kernel.run(until=kernel.now + duration)
+
+
+def quiesce(kernel: Kernel, system: DatabaseSystem, grace: float = 500.0) -> None:
+    """Power every down site back on and let everything drain."""
+    for site_id in system.cluster.site_ids:
+        if system.cluster.site(site_id).is_down:
+            system.power_on(site_id)
+    kernel.run(until=kernel.now + grace)
+    system.stop()
+    kernel.run(until=kernel.now + 10)

@@ -1,0 +1,66 @@
+"""Plain-text result tables (what the paper would have printed)."""
+
+from __future__ import annotations
+
+import typing
+
+
+class Table:
+    """A titled, column-ordered result table.
+
+    Rows are dicts; values are formatted with sensible defaults
+    (floats to 3 significant decimals). The table renders as aligned
+    monospace text and is also queryable for assertions.
+    """
+
+    def __init__(self, title: str, columns: typing.Sequence[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: list[dict] = []
+
+    def add_row(self, **values: object) -> None:
+        """Append a row; every key must be a declared column."""
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise ValueError(f"unknown columns {sorted(unknown)}")
+        self.rows.append({column: values.get(column) for column in self.columns})
+
+    def column(self, name: str) -> list:
+        """All values of one column, in row order."""
+        return [row[name] for row in self.rows]
+
+    def where(self, **match: object) -> list[dict]:
+        """Rows whose listed columns equal the given values."""
+        return [
+            row
+            for row in self.rows
+            if all(row.get(key) == value for key, value in match.items())
+        ]
+
+    @staticmethod
+    def _format(value: object) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return f"{value:.3f}".rstrip("0").rstrip(".") or "0"
+        return str(value)
+
+    def render(self) -> str:
+        """The table as aligned monospace text (title + header + rows)."""
+        header = [column for column in self.columns]
+        body = [[self._format(row[column]) for column in self.columns] for row in self.rows]
+        widths = [
+            max(len(header[i]), *(len(line[i]) for line in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [self.title]
+        lines.append("  ".join(header[i].ljust(widths[i]) for i in range(len(header))))
+        lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+        for line in body:
+            lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(header))))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,96 @@
+"""Structured event tracing for a running system.
+
+`SystemTracer` subscribes to the hook points a
+:class:`~repro.system.DatabaseSystem` already exposes (site lifecycle,
+cluster recovery announcements, transaction completion) and records a
+timeline of structured events — the kind of operational log an operator
+would tail. Used by examples and debugging; cheap enough to leave on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.system import DatabaseSystem
+from repro.txn.transaction import Transaction, TxnStatus
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One timeline entry."""
+
+    time: float
+    category: str  # "site" | "txn" | "recovery"
+    site_id: int
+    what: str
+    detail: str = ""
+
+
+class SystemTracer:
+    """Collects a structured timeline from a live system."""
+
+    def __init__(self, system: DatabaseSystem, keep_user_txns: bool = True) -> None:
+        self.system = system
+        self.keep_user_txns = keep_user_txns
+        self.events: list[TraceEvent] = []
+        for site_id in system.cluster.site_ids:
+            site = system.cluster.site(site_id)
+            site.crash_hooks.append(lambda sid=site_id: self._site_event(sid, "crash"))
+            site.power_on_hooks.append(
+                lambda sid=site_id: self._site_event(sid, "power-on")
+            )
+        system.cluster.recovered_hooks.append(
+            lambda sid: self._site_event(sid, "operational")
+        )
+        for site_id, tm in system.tms.items():
+            tm.finish_hooks.append(self._txn_event)
+
+    def _site_event(self, site_id: int, what: str) -> None:
+        self.events.append(
+            TraceEvent(
+                time=self.system.kernel.now,
+                category="site",
+                site_id=site_id,
+                what=what,
+            )
+        )
+
+    def _txn_event(self, txn: Transaction) -> None:
+        if txn.kind.value == "user" and not self.keep_user_txns:
+            return
+        what = "commit" if txn.status is TxnStatus.COMMITTED else "abort"
+        self.events.append(
+            TraceEvent(
+                time=self.system.kernel.now,
+                category="txn" if txn.kind.value == "user" else txn.kind.value,
+                site_id=txn.home_site,
+                what=what,
+                detail=(
+                    f"{txn.txn_id}"
+                    + (f" ({txn.abort_reason})" if txn.abort_reason else "")
+                ),
+            )
+        )
+
+    # -- queries ----------------------------------------------------------------
+
+    def of_category(self, category: str) -> list[TraceEvent]:
+        """Events of one category (site / txn / control / copier)."""
+        return [event for event in self.events if event.category == category]
+
+    def between(self, start: float, end: float) -> list[TraceEvent]:
+        """Events with start <= time <= end."""
+        return [event for event in self.events if start <= event.time <= end]
+
+    def render(self, limit: int | None = None) -> str:
+        """Human-readable timeline (most recent ``limit`` events)."""
+        chosen = self.events if limit is None else self.events[-limit:]
+        lines = []
+        for event in chosen:
+            detail = f"  {event.detail}" if event.detail else ""
+            lines.append(
+                f"[t={event.time:9.1f}] site {event.site_id}: "
+                f"{event.category}/{event.what}{detail}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""Network substrate: point-to-point messaging and RPC between sites.
+
+The paper assumes a reliable, non-partitioning network connecting sites
+(§1: "the algorithm ... does not handle partition failures"). We model:
+
+* :class:`~repro.net.network.Network` — delivers messages after a sampled
+  latency; messages to a crashed site are silently dropped (the sender
+  learns of the failure only through timeouts or the failure detector,
+  exactly as a real crash-stop site behaves).
+* :class:`~repro.net.rpc.RpcNode` — request/reply on top of the network
+  with per-request handler processes, remote-exception propagation, and
+  timeouts.
+* latency models — constant, uniform, exponential-with-floor.
+
+Message counts and byte estimates are recorded by
+:class:`~repro.net.network.NetworkStats` for the overhead experiments
+(E3, E7).
+"""
+
+from repro.net.latency import ConstantLatency, ExponentialLatency, LatencyModel, UniformLatency
+from repro.net.messages import Message
+from repro.net.network import Endpoint, Network, NetworkStats
+from repro.net.rpc import RemoteError, RpcNode
+
+__all__ = [
+    "ConstantLatency",
+    "Endpoint",
+    "ExponentialLatency",
+    "LatencyModel",
+    "Message",
+    "Network",
+    "NetworkStats",
+    "RemoteError",
+    "RpcNode",
+]

@@ -1,0 +1,67 @@
+"""Pluggable one-way message latency models."""
+
+from __future__ import annotations
+
+import random
+import typing
+
+
+class LatencyModel(typing.Protocol):
+    """Samples a one-way delivery delay for a single message."""
+
+    def sample(self, rng: random.Random) -> float:  # pragma: no cover - protocol
+        ...
+
+
+class ConstantLatency:
+    """Every message takes exactly ``delay`` time units."""
+
+    def __init__(self, delay: float = 1.0) -> None:
+        if delay < 0:
+            raise ValueError(f"negative latency: {delay}")
+        self.delay = delay
+
+    def sample(self, rng: random.Random) -> float:
+        """The fixed delay."""
+        return self.delay
+
+    def __repr__(self) -> str:
+        return f"ConstantLatency({self.delay})"
+
+
+class UniformLatency:
+    """Latency drawn uniformly from ``[low, high]``."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if not 0 <= low <= high:
+            raise ValueError(f"invalid latency range [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng: random.Random) -> float:
+        """A uniform draw from [low, high]."""
+        return rng.uniform(self.low, self.high)
+
+    def __repr__(self) -> str:
+        return f"UniformLatency({self.low}, {self.high})"
+
+
+class ExponentialLatency:
+    """``floor`` plus an exponential tail with the given ``mean`` tail delay.
+
+    A reasonable stand-in for LAN behaviour: a propagation floor plus
+    queueing jitter.
+    """
+
+    def __init__(self, floor: float = 0.1, mean: float = 0.5) -> None:
+        if floor < 0 or mean <= 0:
+            raise ValueError(f"invalid ExponentialLatency({floor}, {mean})")
+        self.floor = floor
+        self.mean = mean
+
+    def sample(self, rng: random.Random) -> float:
+        """Floor plus an exponential tail draw."""
+        return self.floor + rng.expovariate(1.0 / self.mean)
+
+    def __repr__(self) -> str:
+        return f"ExponentialLatency(floor={self.floor}, mean={self.mean})"

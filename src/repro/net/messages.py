@@ -1,0 +1,44 @@
+"""Message envelope carried by the simulated network."""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+
+_msg_counter = itertools.count(1)
+
+
+def reset_msg_counter() -> None:
+    """Restart global message numbering (see ``reset_txn_counter``)."""
+    global _msg_counter
+    _msg_counter = itertools.count(1)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Message:
+    """An immutable network message.
+
+    Attributes
+    ----------
+    src, dst:
+        Site ids of sender and receiver.
+    kind:
+        Application-level message type (e.g. ``"read"``, ``"prepare"``).
+    payload:
+        Arbitrary application data. Treated as opaque by the network.
+    msg_id:
+        Unique id assigned at construction; used for RPC correlation.
+    reply_to:
+        For replies, the ``msg_id`` of the request being answered.
+    """
+
+    src: int
+    dst: int
+    kind: str
+    payload: object = None
+    msg_id: int = dataclasses.field(default_factory=lambda: next(_msg_counter))
+    reply_to: int | None = None
+
+    def is_reply(self) -> bool:
+        """True when this message answers an earlier request."""
+        return self.reply_to is not None

@@ -1,0 +1,179 @@
+"""The simulated network fabric.
+
+Crash-stop semantics: a message addressed to a site that is down at
+*delivery* time is dropped silently; a site that is down cannot send.
+Senders learn about failures only via timeouts (see :mod:`repro.net.rpc`)
+or the failure detector (:mod:`repro.site.detector`), never via magic.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import typing
+
+from repro.errors import NetworkError
+from repro.net.latency import ConstantLatency, LatencyModel
+from repro.net.messages import Message
+from repro.sim.kernel import Kernel
+from repro.sim.queue import Queue
+
+
+@dataclasses.dataclass
+class NetworkStats:
+    """Counters used by the overhead experiments (E3, E7)."""
+
+    sent: int = 0
+    local_sent: int = 0
+    delivered: int = 0
+    dropped_dst_down: int = 0
+    dropped_src_down: int = 0
+    dropped_loss: int = 0
+    dropped_partition: int = 0
+    by_kind: collections.Counter = dataclasses.field(default_factory=collections.Counter)
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy, for metric reports."""
+        return {
+            "sent": self.sent,
+            "local_sent": self.local_sent,
+            "delivered": self.delivered,
+            "dropped_dst_down": self.dropped_dst_down,
+            "dropped_src_down": self.dropped_src_down,
+            "dropped_loss": self.dropped_loss,
+            "dropped_partition": self.dropped_partition,
+            "by_kind": dict(self.by_kind),
+        }
+
+
+class Endpoint:
+    """A site's attachment point: an inbox plus an up/down flag."""
+
+    def __init__(self, kernel: Kernel, site_id: int) -> None:
+        self.site_id = site_id
+        self.inbox: Queue = Queue(kernel, name=f"inbox[{site_id}]")
+        self.receiving = True
+
+    def go_down(self) -> None:
+        """Stop receiving and drop everything queued (volatile state)."""
+        self.receiving = False
+        self.inbox.clear()
+        self.inbox.cancel_waiters()
+
+    def go_up(self) -> None:
+        """Resume receiving messages."""
+        self.receiving = True
+
+
+class Network:
+    """Point-to-point message delivery between attached endpoints.
+
+    Parameters
+    ----------
+    kernel:
+        Simulation kernel providing the clock and event loop.
+    latency:
+        One-way delay model, sampled per message.
+    loss_probability:
+        Probability that an individual message is lost in transit even
+        between live sites (default 0: the paper assumes reliable links).
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        latency: LatencyModel | None = None,
+        loss_probability: float = 0.0,
+    ) -> None:
+        if not 0.0 <= loss_probability < 1.0:
+            raise ValueError(f"loss_probability out of range: {loss_probability}")
+        self.kernel = kernel
+        self.latency = latency if latency is not None else ConstantLatency(1.0)
+        self.loss_probability = loss_probability
+        self.stats = NetworkStats()
+        self._endpoints: dict[int, Endpoint] = {}
+        self._rng = kernel.rng.stream("net")
+        self._partition: dict[int, int] | None = None  # site -> group index
+
+    def attach(self, site_id: int) -> Endpoint:
+        """Create (or return) the endpoint for ``site_id``."""
+        endpoint = self._endpoints.get(site_id)
+        if endpoint is None:
+            endpoint = Endpoint(self.kernel, site_id)
+            self._endpoints[site_id] = endpoint
+        return endpoint
+
+    def endpoint(self, site_id: int) -> Endpoint:
+        """Return the endpoint for ``site_id``; it must be attached."""
+        try:
+            return self._endpoints[site_id]
+        except KeyError:
+            raise NetworkError(f"site {site_id} is not attached") from None
+
+    @property
+    def site_ids(self) -> list[int]:
+        """All attached site ids, sorted."""
+        return sorted(self._endpoints)
+
+    def set_partition(self, groups: typing.Sequence[typing.Collection[int]]) -> None:
+        """Split the network: messages between groups are dropped.
+
+        The paper's algorithm explicitly does NOT handle partitions
+        (§1); this switch exists to *demonstrate* that boundary (the
+        algorithm stays safe but cross-partition operations block) and
+        as the substrate for the §6 partition-merge direction. Sites not
+        listed in any group form an implicit final group together.
+        """
+        mapping: dict[int, int] = {}
+        for index, group in enumerate(groups):
+            for site_id in group:
+                if site_id in mapping:
+                    raise NetworkError(f"site {site_id} in two partition groups")
+                mapping[site_id] = index
+        for site_id in self._endpoints:
+            mapping.setdefault(site_id, len(groups))
+        self._partition = mapping
+
+    def heal_partition(self) -> None:
+        """Restore full connectivity."""
+        self._partition = None
+
+    def _partitioned(self, src: int, dst: int) -> bool:
+        if self._partition is None:
+            return False
+        return self._partition.get(src) != self._partition.get(dst)
+
+    def send(self, msg: Message) -> None:
+        """Send ``msg``; delivery (or drop) happens after a sampled latency."""
+        dst = self.endpoint(msg.dst)
+        src = self.endpoint(msg.src)
+        if msg.src == msg.dst:
+            # Intra-site "messages" (a TM talking to its co-located DM) are
+            # procedure calls: instantaneous, lossless, and not network
+            # traffic for the message-count metrics (E3/E7).
+            self.stats.local_sent += 1
+            if src.receiving:
+                self.kernel.call_soon(self._deliver, dst, msg)
+            return
+        self.stats.sent += 1
+        self.stats.by_kind[msg.kind] += 1
+        if not src.receiving:
+            # A down site cannot transmit; this only happens in narrow
+            # crash windows where a process is being torn down.
+            self.stats.dropped_src_down += 1
+            return
+        if self.loss_probability and self._rng.random() < self.loss_probability:
+            self.stats.dropped_loss += 1
+            return
+        delay = self.latency.sample(self._rng)
+        self.kernel.call_soon(self._deliver, dst, msg, delay=delay)
+
+    def _deliver(self, dst: Endpoint, msg: Message) -> None:
+        if self._partitioned(msg.src, msg.dst):
+            self.stats.dropped_partition += 1
+            return
+        if dst.receiving:
+            self.stats.delivered += 1
+            dst.inbox.put(msg)
+        else:
+            self.stats.dropped_dst_down += 1

@@ -1,0 +1,190 @@
+"""Request/reply messaging on top of :class:`~repro.net.network.Network`.
+
+Each site runs one :class:`RpcNode`. Incoming requests are dispatched to
+registered handlers, each served by its own simulated process so that a
+handler blocked on a lock does not stall the site. Handler exceptions
+derived from :class:`~repro.errors.ReproError` propagate to the caller
+as-is (this is how :class:`~repro.errors.SessionMismatch` reaches the
+requesting TM, per §3.1 of the paper); any other exception is a bug and is
+wrapped in :class:`RemoteError`.
+
+Call futures are created *defused*: when a caller dies in a site crash,
+the late reply or timeout that would have woken it must not be reported as
+an unhandled failure.
+"""
+
+from __future__ import annotations
+
+import inspect
+import typing
+
+from repro.errors import Interrupt, NetworkError, ReproError, RpcTimeout
+from repro.net.messages import Message
+from repro.net.network import Endpoint, Network
+from repro.sim.events import Future
+from repro.sim.kernel import Kernel
+from repro.sim.process import Process
+
+Handler = typing.Callable[[object, int], object]
+
+
+class RemoteError(NetworkError):
+    """A handler raised an exception that is not part of the protocol."""
+
+    def __init__(self, site_id: int, kind: str, original: BaseException) -> None:
+        super().__init__(f"handler {kind!r} at site {site_id} crashed: {original!r}")
+        self.site_id = site_id
+        self.kind = kind
+        self.original = original
+
+
+class RpcNode:
+    """Per-site RPC endpoint: handler registry, dispatcher, caller API."""
+
+    def __init__(self, kernel: Kernel, network: Network, site_id: int) -> None:
+        self.kernel = kernel
+        self.network = network
+        self.site_id = site_id
+        self.endpoint: Endpoint = network.attach(site_id)
+        self._handlers: dict[str, Handler] = {}
+        self._pending: dict[int, Future] = {}
+        self._dispatcher: Process | None = None
+        self._servers: set[Process] = set()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        """True while the dispatcher process is alive."""
+        return self._dispatcher is not None and self._dispatcher.is_alive
+
+    def start(self) -> None:
+        """Begin receiving: mark the endpoint up and start dispatching."""
+        if self.running:
+            return
+        self.endpoint.go_up()
+        self._dispatcher = self.kernel.process(
+            self._dispatch(), name=f"rpc-dispatch[{self.site_id}]"
+        )
+        self._dispatcher.defuse()  # dies by Interrupt on stop(); that's expected
+
+    def stop(self) -> None:
+        """Crash-stop: kill dispatcher and servers, drop inbox and pending."""
+        self.endpoint.go_down()
+        if self._dispatcher is not None and self._dispatcher.is_alive:
+            self._dispatcher.interrupt("stop")
+        self._dispatcher = None
+        for server in list(self._servers):
+            if server.is_alive:
+                server.interrupt("stop")
+        self._servers.clear()
+        self._pending.clear()
+
+    # -- handler registry ------------------------------------------------------
+
+    def register(self, kind: str, handler: Handler) -> None:
+        """Route requests of ``kind`` to ``handler(payload, src_site)``.
+
+        The handler may return a plain value, or a generator which is then
+        driven as part of the serving process (it may block on locks,
+        timeouts, nested RPCs, ...).
+        """
+        if kind in self._handlers:
+            raise NetworkError(f"duplicate handler for {kind!r} at site {self.site_id}")
+        self._handlers[kind] = handler
+
+    # -- caller API ------------------------------------------------------------
+
+    def call(
+        self, dst: int, kind: str, payload: object = None, timeout: float | None = None
+    ) -> Future:
+        """Send a request; the returned future yields the reply value.
+
+        Fails with the remote :class:`~repro.errors.ReproError`, with
+        :class:`RemoteError` for handler bugs, or with
+        :class:`~repro.errors.RpcTimeout` if no reply arrives in time.
+        """
+        msg = Message(src=self.site_id, dst=dst, kind=kind, payload=payload)
+        future = Future(self.kernel, name=f"rpc:{kind}->{dst}").defuse()
+        self._pending[msg.msg_id] = future
+        self.network.send(msg)
+        if timeout is not None:
+            self.kernel.timeout(timeout).add_callback(
+                lambda _ev, mid=msg.msg_id: self._expire(mid, dst, kind)
+            )
+        return future
+
+    def call_many(
+        self,
+        dsts: typing.Iterable[int],
+        kind: str,
+        payload: object = None,
+        timeout: float | None = None,
+    ) -> list[tuple[int, Future]]:
+        """Issue the same request to several sites; returns (dst, future) pairs."""
+        return [(dst, self.call(dst, kind, payload, timeout)) for dst in dsts]
+
+    def _expire(self, msg_id: int, dst: int, kind: str) -> None:
+        future = self._pending.pop(msg_id, None)
+        if future is not None and not future.triggered:
+            future.fail(RpcTimeout(dst, kind))
+
+    # -- server side -----------------------------------------------------------
+
+    def _dispatch(self) -> typing.Generator:
+        while True:
+            msg = yield self.endpoint.inbox.get()
+            if msg.is_reply():
+                self._complete_call(msg)
+            else:
+                self._spawn_server(msg)
+
+    def _complete_call(self, msg: Message) -> None:
+        assert msg.reply_to is not None
+        future = self._pending.pop(msg.reply_to, None)
+        if future is None or future.triggered:
+            return  # late reply for a timed-out or pre-crash request
+        ok, value = msg.payload
+        if ok:
+            future.succeed(value)
+        else:
+            future.fail(value)
+
+    def _spawn_server(self, msg: Message) -> None:
+        handler = self._handlers.get(msg.kind)
+        if handler is None:
+            exc = NetworkError(f"no handler for {msg.kind!r} at site {self.site_id}")
+            self._reply(msg, ok=False, value=exc)
+            return
+        server = self.kernel.process(
+            self._serve(handler, msg), name=f"rpc-serve[{self.site_id}]:{msg.kind}"
+        )
+        self._servers.add(server)
+        server.defuse()
+        server.add_callback(lambda _ev: self._servers.discard(server))
+
+    def _serve(self, handler: Handler, msg: Message) -> typing.Generator:
+        try:
+            result = handler(msg.payload, msg.src)
+            if inspect.isgenerator(result):
+                result = yield from result
+        except Interrupt:
+            raise  # site crash tearing this server down
+        except ReproError as exc:
+            self._reply(msg, ok=False, value=exc)
+            return
+        except Exception as exc:  # noqa: BLE001 - handler bug, not protocol
+            self._reply(msg, ok=False, value=RemoteError(self.site_id, msg.kind, exc))
+            return
+        self._reply(msg, ok=True, value=result)
+
+    def _reply(self, request: Message, ok: bool, value: object) -> None:
+        self.network.send(
+            Message(
+                src=self.site_id,
+                dst=request.src,
+                kind=f"{request.kind}.reply",
+                payload=(ok, value),
+                reply_to=request.msg_id,
+            )
+        )

@@ -1,0 +1,35 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, generator-based DES in the style of simpy, built
+from scratch so the whole stack is self-contained:
+
+* :class:`~repro.sim.kernel.Kernel` — the event loop and virtual clock.
+* :class:`~repro.sim.events.Future` — one-shot events carrying a value or
+  an exception.
+* :class:`~repro.sim.events.Timeout` — a future that fires after a delay.
+* :class:`~repro.sim.process.Process` — a simulated thread of control,
+  written as a Python generator that yields futures.
+* :class:`~repro.sim.queue.Queue` — an unbounded FIFO connecting processes.
+* :class:`~repro.sim.rng.RngRegistry` — named, independently seeded random
+  streams so component randomness is reproducible and decoupled.
+
+Determinism: given a seed, every run produces the identical event order.
+Ties in time are broken by scheduling sequence number.
+"""
+
+from repro.sim.events import AllOf, AnyOf, Future, Timeout
+from repro.sim.kernel import Kernel
+from repro.sim.process import Process
+from repro.sim.queue import Queue
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Future",
+    "Kernel",
+    "Process",
+    "Queue",
+    "RngRegistry",
+    "Timeout",
+]

@@ -1,0 +1,252 @@
+"""One-shot events (futures) for the simulation kernel.
+
+A :class:`Future` is created pending, later *triggered* exactly once with
+either a value (:meth:`Future.succeed`) or an exception
+(:meth:`Future.fail`), and then *processed* by the kernel: its callbacks run
+at the virtual time the trigger was scheduled for.
+
+Processes wait on futures by yielding them; composite futures
+(:class:`AllOf`, :class:`AnyOf`) let a process wait for several at once.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import SimError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Kernel
+
+_PENDING = object()
+
+
+class Future:
+    """A one-shot event that will eventually hold a value or an exception.
+
+    Parameters
+    ----------
+    kernel:
+        The kernel whose event loop processes this future.
+    name:
+        Optional label used in ``repr`` for debugging.
+    """
+
+    __slots__ = (
+        "kernel",
+        "name",
+        "_value",
+        "_exc",
+        "_callbacks",
+        "_processed",
+        "_defused",
+        "_abandon_hook",
+    )
+
+    def __init__(self, kernel: "Kernel", name: str = "") -> None:
+        self.kernel = kernel
+        self.name = name
+        self._value: object = _PENDING
+        self._exc: BaseException | None = None
+        self._callbacks: list[typing.Callable[[Future], None]] | None = []
+        self._processed = False
+        self._defused = False
+        self._abandon_hook: typing.Callable[[Future], None] | None = None
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed` or :meth:`fail` has been called."""
+        return self._callbacks is None or self._value is not _PENDING or self._exc is not None
+
+    @property
+    def processed(self) -> bool:
+        """True once the kernel has run this future's callbacks."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the future succeeded. Only meaningful once triggered."""
+        return self._exc is None
+
+    @property
+    def value(self) -> object:
+        """The success value. Raises if the future failed or is pending."""
+        if self._exc is not None:
+            raise self._exc
+        if self._value is _PENDING:
+            raise SimError(f"{self!r} has no value yet")
+        return self._value
+
+    @property
+    def exception(self) -> BaseException | None:
+        """The failure exception, or None."""
+        return self._exc
+
+    def defuse(self) -> "Future":
+        """Mark a potential failure of this future as intentionally ignored.
+
+        A failed future whose exception is never observed by any callback
+        raises :class:`~repro.errors.UnhandledFailure` in the kernel loop;
+        defusing suppresses that check (e.g. fire-and-forget sends).
+        """
+        self._defused = True
+        return self
+
+    # -- triggering --------------------------------------------------------
+
+    def succeed(self, value: object = None, delay: float = 0.0) -> "Future":
+        """Trigger the future with ``value``; callbacks run after ``delay``."""
+        self._require_untriggered()
+        self._value = value
+        self.kernel._schedule(self, delay)
+        return self
+
+    def fail(self, exc: BaseException, delay: float = 0.0) -> "Future":
+        """Trigger the future with exception ``exc``."""
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"fail() requires an exception, got {exc!r}")
+        self._require_untriggered()
+        self._exc = exc
+        self._value = None
+        self.kernel._schedule(self, delay)
+        return self
+
+    def _require_untriggered(self) -> None:
+        if self.triggered:
+            raise SimError(f"{self!r} has already been triggered")
+
+    # -- callbacks ---------------------------------------------------------
+
+    def add_callback(self, fn: typing.Callable[["Future"], None]) -> None:
+        """Run ``fn(self)`` when this future is processed.
+
+        If the future has already been processed the callback is scheduled
+        to run immediately (at the current virtual time) rather than being
+        invoked synchronously, preserving run-to-completion semantics.
+        """
+        if self._processed:
+            self.kernel.call_soon(fn, self)
+        else:
+            assert self._callbacks is not None
+            self._callbacks.append(fn)
+
+    def remove_callback(self, fn: typing.Callable[["Future"], None]) -> None:
+        """Remove a previously added callback; no-op if absent."""
+        if self._callbacks is not None and fn in self._callbacks:
+            self._callbacks.remove(fn)
+
+    def on_abandoned(self, hook: typing.Callable[["Future"], None]) -> None:
+        """Register a hook called if the last waiter detaches before trigger.
+
+        Used by resources that hand out futures (e.g. queue getters, lock
+        grants): when the waiting process is interrupted away, the resource
+        must forget the future or it would absorb a later grant.
+        """
+        self._abandon_hook = hook
+
+    def _notify_abandoned_if_orphan(self) -> None:
+        if (
+            self._abandon_hook is not None
+            and not self.triggered
+            and self._callbacks is not None
+            and not self._callbacks
+        ):
+            hook, self._abandon_hook = self._abandon_hook, None
+            hook(self)
+
+    # -- kernel hook --------------------------------------------------------
+
+    def _process(self) -> None:
+        callbacks = self._callbacks or []
+        self._callbacks = None
+        self._processed = True
+        if self._exc is not None and not callbacks and not self._defused:
+            # Nobody is listening for this failure: surface it loudly.
+            self.kernel._report_unhandled(self)
+            return
+        for fn in callbacks:
+            fn(self)
+
+    def __repr__(self) -> str:
+        label = self.name or self.__class__.__name__
+        if not self.triggered:
+            state = "pending"
+        elif self._exc is not None:
+            state = f"failed({self._exc!r})"
+        else:
+            state = f"ok({self._value!r})"
+        return f"<{label} {state}>"
+
+
+class Timeout(Future):
+    """A future that succeeds automatically ``delay`` time units from now."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, kernel: "Kernel", delay: float, value: object = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(kernel, name=f"Timeout({delay})")
+        self.delay = delay
+        self.succeed(value, delay=delay)
+
+
+class AllOf(Future):
+    """Succeeds when all child futures have been processed.
+
+    The value is a list of the children's values, in the order given. If any
+    child fails, :class:`AllOf` fails with that child's exception (the first
+    failure to be processed wins).
+    """
+
+    __slots__ = ("_children", "_remaining")
+
+    def __init__(self, kernel: "Kernel", children: typing.Sequence[Future]) -> None:
+        super().__init__(kernel, name=f"AllOf[{len(children)}]")
+        self._children = list(children)
+        self._remaining = len(self._children)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for child in self._children:
+            child.add_callback(self._on_child)
+
+    def _on_child(self, child: Future) -> None:
+        if self.triggered:
+            return
+        if not child.ok:
+            assert child.exception is not None
+            self.fail(child.exception)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([c.value for c in self._children])
+
+
+class AnyOf(Future):
+    """Succeeds when the first child future is processed.
+
+    The value is the pair ``(index, value)`` of the winning child. Fails if
+    the first processed child failed.
+    """
+
+    __slots__ = ("_children",)
+
+    def __init__(self, kernel: "Kernel", children: typing.Sequence[Future]) -> None:
+        if not children:
+            raise ValueError("AnyOf requires at least one child")
+        super().__init__(kernel, name=f"AnyOf[{len(children)}]")
+        self._children = list(children)
+        for index, child in enumerate(self._children):
+            child.add_callback(lambda c, i=index: self._on_child(i, c))
+
+    def _on_child(self, index: int, child: Future) -> None:
+        if self.triggered:
+            return
+        if child.ok:
+            self.succeed((index, child.value))
+        else:
+            assert child.exception is not None
+            self.fail(child.exception)

@@ -1,0 +1,124 @@
+"""The simulation event loop and virtual clock."""
+
+from __future__ import annotations
+
+import heapq
+import typing
+
+from repro.errors import SimError, UnhandledFailure
+from repro.sim.events import Future, Timeout
+from repro.sim.process import Process
+from repro.sim.rng import RngRegistry
+
+
+class Kernel:
+    """A deterministic discrete-event scheduler.
+
+    Time is a float starting at 0.0 and only moves forward. Events scheduled
+    for the same instant are processed in scheduling order (FIFO), which
+    makes runs fully deterministic for a fixed seed.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for the :class:`~repro.sim.rng.RngRegistry` exposed as
+        :attr:`rng`.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Future]] = []
+        self._seq = 0
+        self.rng = RngRegistry(seed)
+        self._unhandled: list[Future] = []
+
+    # -- clock ---------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    # -- scheduling ------------------------------------------------------------
+
+    def _schedule(self, event: Future, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise SimError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+        self._seq += 1
+
+    def call_soon(
+        self, fn: typing.Callable[..., None], *args: object, delay: float = 0.0
+    ) -> Future:
+        """Run ``fn(*args)`` at the current time (or after ``delay``)."""
+        event = Future(self, name=f"call_soon({getattr(fn, '__name__', fn)!r})")
+        event.add_callback(lambda _ev: fn(*args))
+        event.succeed(delay=delay)
+        return event
+
+    # -- factories ---------------------------------------------------------------
+
+    def event(self, name: str = "") -> Future:
+        """Create a new pending future."""
+        return Future(self, name=name)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        """Create a future that succeeds ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: typing.Generator, name: str = "") -> Process:
+        """Start a new simulated process running ``generator``."""
+        return Process(self, generator, name=name)
+
+    # -- execution -----------------------------------------------------------
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event, advancing the clock to its time."""
+        if not self._heap:
+            raise SimError("step() on an empty event queue")
+        when, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        event._process()
+        if self._unhandled:
+            failed = self._unhandled.pop()
+            self._unhandled.clear()
+            exc = failed.exception
+            raise UnhandledFailure(f"unobserved failure in {failed!r}") from exc
+
+    def run(self, until: float | Future | None = None) -> object:
+        """Run the event loop.
+
+        ``until`` may be:
+
+        * ``None`` — run until no events remain;
+        * a float — run until virtual time reaches it (clock ends exactly
+          there);
+        * a :class:`Future` — run until it is processed, returning its value
+          (or raising its exception).
+        """
+        if isinstance(until, Future):
+            return self._run_until_event(until)
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                break
+            self.step()
+        if until is not None and self._now < until:
+            self._now = float(until)
+        return None
+
+    def _run_until_event(self, until: Future) -> object:
+        # The caller observes success/failure through ``until.value`` below,
+        # so a failure of the target is not "unhandled".
+        until.defuse()
+        while not until.processed:
+            if not self._heap:
+                raise SimError(f"event queue exhausted before {until!r} was processed")
+            self.step()
+        return until.value
+
+    def _report_unhandled(self, event: Future) -> None:
+        self._unhandled.append(event)

@@ -1,0 +1,25 @@
+"""Site substrate: lifecycle, failure detection, and cluster assembly.
+
+A :class:`~repro.site.site.Site` bundles the per-site runtime pieces —
+RPC node, stable storage, copy store, registered background processes —
+and implements crash-stop semantics: :meth:`Site.crash` kills every
+registered process, drops the inbox, and leaves only stable state behind;
+:meth:`Site.power_on` restarts the message layer so the recovery protocol
+can run.
+
+The :class:`~repro.site.detector.FailureDetector` models the paper's §3.3
+assumption that a site "is sure that the sites being claimed down are
+actually down" — valid because crash failures are the only failures in
+this model. Detection is *not* instantaneous: each live site learns about
+a crash after a configurable delay, and the window in between is exactly
+where stale-view session-number rejections happen.
+
+:class:`~repro.site.cluster.Cluster` wires kernel + network + n sites and
+injects crashes/restarts (ground truth for detectors).
+"""
+
+from repro.site.cluster import Cluster
+from repro.site.detector import FailureDetector
+from repro.site.site import Site, SiteStatus
+
+__all__ = ["Cluster", "FailureDetector", "Site", "SiteStatus"]

@@ -1,0 +1,125 @@
+"""A single database site: runtime state, lifecycle, crash semantics."""
+
+from __future__ import annotations
+
+import enum
+import typing
+
+from repro.errors import InvalidStateTransition
+from repro.net.network import Network
+from repro.net.rpc import RpcNode
+from repro.sim.kernel import Kernel
+from repro.sim.process import Process
+from repro.storage.copies import CopyStore
+from repro.storage.stable import StableStorage
+
+
+class SiteStatus(enum.Enum):
+    """The three distinguishable states of §3.1.
+
+    ``DOWN``: no DDBS activity. ``RECOVERING``: TM/DM on for control
+    transactions, user transactions refused. ``UP``: fully operational.
+    """
+
+    DOWN = "down"
+    RECOVERING = "recovering"
+    UP = "up"
+
+
+class Site:
+    """Per-site runtime: RPC, storage, background processes, lifecycle.
+
+    Database components (DM, TM, recovery manager) attach themselves via
+    handlers on :attr:`rpc` and via the crash/power-on hook lists. The
+    site itself is protocol-agnostic substrate.
+    """
+
+    def __init__(self, kernel: Kernel, network: Network, site_id: int) -> None:
+        self.kernel = kernel
+        self.site_id = site_id
+        self.rpc = RpcNode(kernel, network, site_id)
+        self.stable = StableStorage()
+        self.copies = CopyStore(site_id)
+        self.status = SiteStatus.DOWN
+        #: Partition-mode gate (see repro.core.partition_merge): an
+        #: operational site that cannot reach a majority refuses user
+        #: transactions without giving up its session. Always False in
+        #: the paper's crash-only model.
+        self.user_frozen = False
+        self.crash_hooks: list[typing.Callable[[], None]] = []
+        self.power_on_hooks: list[typing.Callable[[], None]] = []
+        self._procs: set[Process] = set()
+        # Lifecycle bookkeeping for recovery-latency metrics (E2).
+        self.last_crash_time: float | None = None
+        self.last_power_on_time: float | None = None
+        self.crash_count = 0
+
+    # -- state queries ------------------------------------------------------
+
+    @property
+    def is_down(self) -> bool:
+        return self.status is SiteStatus.DOWN
+
+    @property
+    def is_operational(self) -> bool:
+        """True only in the UP state (the paper's "operational")."""
+        return self.status is SiteStatus.UP
+
+    # -- background processes --------------------------------------------------
+
+    def spawn(self, generator: typing.Generator, name: str = "") -> Process:
+        """Run a process that dies with the site.
+
+        The process is killed (interrupted) on :meth:`crash`; its failure
+        by interrupt is expected and therefore defused.
+        """
+        proc = self.kernel.process(generator, name=f"site{self.site_id}:{name}")
+        proc.defuse()
+        self._procs.add(proc)
+        proc.add_callback(lambda _ev: self._procs.discard(proc))
+        return proc
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def power_on(self) -> None:
+        """DOWN → RECOVERING: turn on TM/DM for control transactions (§3.4/1)."""
+        if self.status is not SiteStatus.DOWN:
+            raise InvalidStateTransition(
+                f"site {self.site_id}: power_on in state {self.status.value}"
+            )
+        self.status = SiteStatus.RECOVERING
+        self.last_power_on_time = self.kernel.now
+        self.rpc.start()
+        for hook in list(self.power_on_hooks):
+            hook()
+
+    def become_operational(self) -> None:
+        """RECOVERING → UP (recovery step 4, after type-1 commit)."""
+        if self.status is not SiteStatus.RECOVERING:
+            raise InvalidStateTransition(
+                f"site {self.site_id}: become_operational in state {self.status.value}"
+            )
+        self.status = SiteStatus.UP
+
+    def crash(self) -> None:
+        """Crash-stop: volatile state is lost, stable state survives.
+
+        Idempotent on an already-down site only in the sense that it is an
+        error — callers (the cluster) guard against double crashes.
+        """
+        if self.status is SiteStatus.DOWN:
+            raise InvalidStateTransition(f"site {self.site_id} is already down")
+        self.status = SiteStatus.DOWN
+        self.user_frozen = False
+        self.last_crash_time = self.kernel.now
+        self.crash_count += 1
+        self.rpc.stop()
+        for proc in list(self._procs):
+            if proc.is_alive:
+                proc.interrupt("site-crash")
+        self._procs.clear()
+        for hook in list(self.crash_hooks):
+            hook()
+
+    def __repr__(self) -> str:
+        return f"<Site {self.site_id} {self.status.value}>"

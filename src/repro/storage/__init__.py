@@ -1,0 +1,20 @@
+"""Per-site storage substrate.
+
+Models the stable/volatile split the paper relies on:
+
+* :class:`~repro.storage.stable.StableStorage` — survives crashes (the
+  paper stores the current session number here, §3.1).
+* :class:`~repro.storage.copies.CopyStore` — the committed physical copies
+  at a site, including the *unreadable* marks used during recovery
+  (§3.2/§3.4). Only committed state is ever written here, so the store
+  survives crashes by construction.
+* :class:`~repro.storage.catalog.Catalog` — where the copies of each
+  logical item reside (the paper assumes this is known at least at the
+  resident sites, §2).
+"""
+
+from repro.storage.catalog import Catalog
+from repro.storage.copies import CopyStore, DataCopy, Version
+from repro.storage.stable import StableStorage
+
+__all__ = ["Catalog", "CopyStore", "DataCopy", "StableStorage", "Version"]

@@ -1,0 +1,110 @@
+"""Versioned physical copies of logical data items at one site."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+
+class Version(typing.NamedTuple):
+    """Total order on committed writes of a logical item.
+
+    ``ts`` is the commit time of the writing transaction, ``commit`` a
+    globally increasing commit sequence number assigned at the 2PC
+    decision, and ``seq`` the *writer's* transaction sequence number
+    (provenance, not ordering). The pair ``(ts, commit)`` orders versions
+    by true commit order; ``ts`` alone is insufficient because two local
+    transactions can decide within the same simulated instant, and writer
+    sequence numbers do not follow commit order. The commit counter
+    stands in for the Lamport/LSN component a real site would put in its
+    version numbers.
+
+    Copiers carry the source version across unchanged, which is what
+    makes the §5 version-number optimisation ("compare the version
+    numbers first, then decide whether copying data is necessary") and
+    the §4 READ-FROM provenance sound.
+    """
+
+    ts: float
+    commit: int
+    seq: int = 0
+
+    @classmethod
+    def initial(cls) -> "Version":
+        return cls(0.0, 0, 0)
+
+
+@dataclasses.dataclass
+class DataCopy:
+    """One physical copy ``x_k`` of a logical item ``X``.
+
+    ``unreadable`` is the §3.4 mark: set while the copy may have missed
+    updates, cleared by a copier or by a committed user write.
+    """
+
+    item: str
+    value: object
+    version: Version = dataclasses.field(default_factory=Version.initial)
+    unreadable: bool = False
+
+
+class CopyStore:
+    """The committed copies residing at one site.
+
+    Only *committed* state is written here (the transaction machinery
+    keeps uncommitted writes in per-transaction workspaces), so the store
+    survives crashes by construction — matching a redo/no-undo stable
+    database.
+    """
+
+    def __init__(self, site_id: int) -> None:
+        self.site_id = site_id
+        self._copies: dict[str, DataCopy] = {}
+        self.bytes_copied = 0  # crude copier work counter (E5)
+
+    # -- schema -------------------------------------------------------------
+
+    def create(self, item: str, value: object = None) -> DataCopy:
+        """Install the copy of ``item`` at this site."""
+        if item in self._copies:
+            raise KeyError(f"copy of {item} already exists at site {self.site_id}")
+        copy = DataCopy(item=item, value=value)
+        self._copies[item] = copy
+        return copy
+
+    def has(self, item: str) -> bool:
+        return item in self._copies
+
+    def get(self, item: str) -> DataCopy:
+        """The copy of ``item``; KeyError if this site holds none."""
+        return self._copies[item]
+
+    def items(self) -> typing.Iterable[str]:
+        """Names of all items with a copy here."""
+        return self._copies.keys()
+
+    # -- committed mutations --------------------------------------------------
+
+    def apply_write(self, item: str, value: object, version: Version) -> None:
+        """Install a committed write; clears the unreadable mark (§3.2)."""
+        copy = self._copies[item]
+        copy.value = value
+        copy.version = version
+        copy.unreadable = False
+
+    def mark_unreadable(self, item: str) -> None:
+        """Flag the copy as possibly stale (recovery step 2, §3.4)."""
+        self._copies[item].unreadable = True
+
+    def clear_unreadable(self, item: str) -> None:
+        """Validate the copy without changing it (equal-version copier)."""
+        self._copies[item].unreadable = False
+
+    def mark_all_unreadable(self) -> None:
+        """The basic algorithm's conservative step 2: mark every copy."""
+        for copy in self._copies.values():
+            copy.unreadable = True
+
+    def unreadable_items(self) -> list[str]:
+        """Items whose local copy is currently marked unreadable."""
+        return [name for name, copy in self._copies.items() if copy.unreadable]

@@ -1,0 +1,39 @@
+"""Stable (crash-surviving) key-value storage for a site."""
+
+from __future__ import annotations
+
+import typing
+
+
+class StableStorage:
+    """A per-site key-value store that survives crashes.
+
+    In the simulation a crash simply *does not touch* this object, while
+    all volatile structures (lock tables, transaction workspaces, inboxes)
+    are discarded. Writes are modeled as atomic, matching the paper's
+    assumption that the current session number "must also be saved in a
+    stable storage" (§3.1).
+    """
+
+    def __init__(self) -> None:
+        self._data: dict[str, object] = {}
+        self.writes = 0  # counts stable writes, for cost accounting
+
+    def put(self, key: str, value: object) -> None:
+        """Atomically persist ``value`` under ``key``."""
+        self._data[key] = value
+        self.writes += 1
+
+    def get(self, key: str, default: object = None) -> object:
+        """Read the persisted value, or ``default``."""
+        return self._data.get(key, default)
+
+    def delete(self, key: str) -> None:
+        """Remove ``key`` if present."""
+        self._data.pop(key, None)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def keys(self) -> typing.KeysView[str]:
+        return self._data.keys()

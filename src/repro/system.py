@@ -1,0 +1,214 @@
+"""Assembly of a complete replicated database system.
+
+:class:`DatabaseSystem` wires the substrates together — cluster, catalog,
+copy stores, history recorder, per-site DM/TM, global deadlock detector —
+parameterized by a replication strategy. The paper's full protocol
+(sessions + control transactions + recovery procedure) is assembled on
+top by :class:`repro.core.system.RowaaSystem`; the baselines use this
+class directly.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import TransactionAborted
+from repro.histories.recorder import HistoryRecorder
+from repro.net.latency import LatencyModel
+from repro.sim.kernel import Kernel
+from repro.sim.process import Process
+from repro.site.cluster import Cluster
+from repro.storage.catalog import Catalog
+from repro.txn.config import TxnConfig
+from repro.txn.data_manager import DataManager
+from repro.txn.deadlock import GlobalDeadlockDetector
+from repro.txn.manager import TransactionManager, TxnProgram
+from repro.txn.strategy import ReplicationStrategy
+from repro.txn.transaction import TxnKind
+
+StrategyFactory = typing.Callable[["DatabaseSystem"], ReplicationStrategy]
+
+
+class DatabaseSystem:
+    """A running replicated DDBS instance inside one simulation kernel.
+
+    Parameters
+    ----------
+    kernel:
+        The simulation kernel.
+    n_sites:
+        Sites are numbered ``1..n_sites``.
+    items:
+        Mapping of logical item name to initial value. Every copy starts
+        with this value at version 0 (written by the implicit initial
+        transaction of §4's augmented history).
+    strategy_factory:
+        Called with the partially built system; returns the replication
+        strategy shared by all TMs.
+    catalog:
+        Copy placement; defaults to full replication of ``items``.
+    config:
+        Transaction-substrate tunables.
+    latency, detection_delay, loss_probability:
+        Forwarded to the cluster/network.
+    concurrency:
+        ``"2pl"`` (strict two-phase locking, default) or ``"to"``
+        (timestamp ordering) — the recovery protocol composes with
+        either (§1's "large group of concurrency control algorithms").
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        n_sites: int,
+        items: dict[str, object],
+        strategy_factory: StrategyFactory,
+        catalog: Catalog | None = None,
+        config: TxnConfig | None = None,
+        latency: LatencyModel | None = None,
+        detection_delay: float = 5.0,
+        loss_probability: float = 0.0,
+        concurrency: str = "2pl",
+    ) -> None:
+        from repro.net.messages import reset_msg_counter
+        from repro.txn.transaction import reset_txn_counter
+
+        reset_txn_counter()
+        reset_msg_counter()
+        self.kernel = kernel
+        self.config = config if config is not None else TxnConfig()
+        self.cluster = Cluster(
+            kernel,
+            n_sites,
+            latency=latency,
+            detection_delay=detection_delay,
+            loss_probability=loss_probability,
+        )
+        self.catalog = (
+            catalog
+            if catalog is not None
+            else Catalog.fully_replicated(self.cluster.site_ids, items)
+        )
+        self.recorder = HistoryRecorder()
+        self.items = dict(items)
+
+        for item, value in items.items():
+            for site_id in self.catalog.sites_of(item):
+                self.cluster.site(site_id).copies.create(item, value)
+
+        if concurrency == "2pl":
+            dm_class = DataManager
+        elif concurrency == "to":
+            from repro.txn.timestamp import TimestampDataManager
+
+            dm_class = TimestampDataManager
+        else:
+            raise ValueError(f"unknown concurrency control {concurrency!r}")
+        self.concurrency = concurrency
+        self.dms: dict[int, DataManager] = {
+            site_id: dm_class(kernel, self.cluster.site(site_id), self.recorder, self.config)
+            for site_id in self.cluster.site_ids
+        }
+        self.strategy = strategy_factory(self)
+        self.tms: dict[int, TransactionManager] = {
+            site_id: TransactionManager(
+                kernel,
+                self.cluster.site(site_id),
+                self.catalog,
+                self.strategy,
+                self.recorder,
+                self.config,
+            )
+            for site_id in self.cluster.site_ids
+        }
+        if concurrency == "to":
+            for tm in self.tms.values():
+                tm.version_policy = "timestamp"
+        self.deadlock_detector = GlobalDeadlockDetector(
+            kernel, self._live_lock_managers, interval=self.config.deadlock_interval
+        )
+        # Detector-driven orphan cleanup: when a site is declared down,
+        # every DM promptly resolves the transactions it coordinated
+        # (instead of waiting out the periodic watcher's timeout).
+        for site_id, dm in self.dms.items():
+            self.cluster.detector(site_id).on_down(
+                lambda crashed, dm=dm: dm.resolve_orphans_of(crashed)
+            )
+
+    def _live_lock_managers(self):
+        return [
+            dm.lock_manager
+            for site_id, dm in self.dms.items()
+            if not self.cluster.site(site_id).is_down
+        ]
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def boot(self) -> None:
+        """Cold boot: all sites come up operational with fresh copies."""
+        self.cluster.boot_all()
+
+    def stop(self) -> None:
+        """Stop housekeeping processes so ``kernel.run()`` can drain."""
+        self.deadlock_detector.stop()
+
+    def crash(self, site_id: int) -> None:
+        """Inject a crash at ``site_id``."""
+        self.cluster.crash_site(site_id)
+
+    def power_on(self, site_id: int) -> object:
+        """Bring a crashed site back per this system's recovery protocol.
+
+        The base implementation is *instant* recovery — power on and
+        immediately accept user transactions — which is correct for
+        strict ROWA (a down site's copies never miss writes) and quorum
+        (stale copies are outvoted), and is exactly the bug for the
+        naive baseline. Protocols with a real recovery procedure
+        (ROWAA §3.4, directories, spooler) override this.
+        """
+        self.cluster.power_on_site(site_id)
+        self.cluster.site(site_id).become_operational()
+        self.cluster.notify_recovered(site_id)
+        return None
+
+    # -- introspection ---------------------------------------------------------
+
+    def copy_value(self, site_id: int, item: str) -> object:
+        """Direct (non-transactional) peek at a committed copy value."""
+        return self.cluster.site(site_id).copies.get(item).value
+
+    # -- transaction entry points ----------------------------------------------
+
+    def submit(
+        self, site_id: int, program: TxnProgram, kind: TxnKind = TxnKind.USER
+    ) -> Process:
+        """Run ``program`` as a single transaction attempt at ``site_id``."""
+        return self.tms[site_id].submit(program, kind)
+
+    def submit_with_retry(
+        self,
+        site_id: int,
+        program: TxnProgram,
+        attempts: int = 3,
+        retry_delay: float = 5.0,
+    ) -> Process:
+        """Run a user transaction, retrying aborts as fresh transactions.
+
+        Retries matter to the protocol: an abort caused by a stale view
+        (session mismatch) is transient — the retry re-reads the nominal
+        session vector and sees the new configuration.
+        """
+
+        def body():
+            last: TransactionAborted | None = None
+            for _attempt in range(attempts):
+                try:
+                    result = yield from self.tms[site_id].run(program)
+                    return result
+                except TransactionAborted as exc:
+                    last = exc
+                    yield self.kernel.timeout(retry_delay)
+            assert last is not None
+            raise last
+
+        return self.cluster.site(site_id).spawn(body(), name="txn-retry")

@@ -1,0 +1,45 @@
+"""Transaction substrate: locking, deadlock handling, 2PC, TM and DM.
+
+The paper (§2) assumes "the DDBS runs a correct concurrency control
+algorithm which ensures serializable execution" and "a correct protocol"
+for atomic commitment. This package provides both:
+
+* :class:`~repro.txn.locks.LockManager` — strict two-phase locking with
+  shared/exclusive modes, FIFO queuing, and upgrades (the concrete member
+  of the paper's "large group of concurrency control algorithms" that the
+  proofs are stated against — its histories have acyclic conflict graphs,
+  i.e. lie in DCP/DSR).
+* :class:`~repro.txn.deadlock.GlobalDeadlockDetector` — periodic global
+  wait-for-graph cycle detection with youngest-victim abort, plus an
+  optional per-request wait timeout as a backstop.
+* :class:`~repro.txn.manager.TransactionManager` /
+  :class:`~repro.txn.data_manager.DataManager` — the paper's TM/DM split
+  (§2): the TM interprets logical operations through a replication
+  strategy; the DM owns the copies, the lock table, and the §3.1 session
+  check, and participates in presumed-abort two-phase commit.
+* :class:`~repro.txn.transaction.Transaction` — transaction records and
+  kinds (user / control / copier), matching the §3 taxonomy.
+"""
+
+from repro.txn.config import TxnConfig
+from repro.txn.context import TxnContext
+from repro.txn.data_manager import DataManager
+from repro.txn.deadlock import GlobalDeadlockDetector
+from repro.txn.locks import LockManager, LockMode
+from repro.txn.manager import TransactionManager
+from repro.txn.strategy import ReplicationStrategy
+from repro.txn.transaction import Transaction, TxnKind, TxnStatus
+
+__all__ = [
+    "DataManager",
+    "GlobalDeadlockDetector",
+    "LockManager",
+    "LockMode",
+    "ReplicationStrategy",
+    "Transaction",
+    "TransactionManager",
+    "TxnConfig",
+    "TxnContext",
+    "TxnKind",
+    "TxnStatus",
+]

@@ -1,0 +1,38 @@
+"""Tunable parameters of the transaction substrate."""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class TxnConfig:
+    """Timeouts and policies shared by TMs and DMs.
+
+    All times are virtual (simulation) time units; think "milliseconds"
+    at LAN scale.
+
+    Attributes
+    ----------
+    rpc_timeout:
+        How long a TM waits for any single DM reply before treating the
+        target as failed. Must exceed the worst round trip between live
+        sites or the detector's soundness assumption breaks.
+    lock_wait_timeout:
+        Per-request backstop in the lock manager (None: rely solely on
+        the global deadlock detector).
+    deadlock_interval:
+        Sweep period of the global deadlock detector.
+    decision_timeout:
+        How long a prepared participant waits for the coordinator's
+        decision before starting cooperative termination.
+    max_read_attempts:
+        How many alternative copies a read strategy may try before the
+        transaction gives up (stale-view redirects).
+    """
+
+    rpc_timeout: float = 50.0
+    lock_wait_timeout: float | None = None
+    deadlock_interval: float = 25.0
+    decision_timeout: float = 200.0
+    max_read_attempts: int = 4

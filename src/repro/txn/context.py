@@ -1,0 +1,139 @@
+"""Per-transaction execution context handed to transaction programs."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.storage.copies import Version
+from repro.txn.payloads import FinishRequest, ReadRequest, WriteRequest
+from repro.txn.transaction import Transaction
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.txn.manager import TransactionManager
+
+
+class TxnContext:
+    """What a transaction program sees.
+
+    User programs call the *logical* operations :meth:`read` and
+    :meth:`write` (strategy-interpreted, per §2); protocol-internal
+    transactions (control, copier) use the physical-level ``dm_*``
+    helpers directly.
+
+    All operation methods are generator functions: invoke them with
+    ``yield from`` inside a transaction program.
+    """
+
+    def __init__(self, tm: "TransactionManager", txn: Transaction) -> None:
+        self.tm = tm
+        self.txn = txn
+        self.view: dict[int, int] = txn.view  # site -> nominal session seen
+
+    # -- logical operations (user programs) ------------------------------------
+
+    def read(self, item: str) -> typing.Generator:
+        """Logical READ(item) via the replication strategy."""
+        return self.tm.strategy.read(self, item)
+
+    def write(self, item: str, value: object) -> typing.Generator:
+        """Logical WRITE(item, value) via the replication strategy."""
+        return self.tm.strategy.write(self, item, value)
+
+    # -- physical operations -------------------------------------------------
+
+    def dm_read(
+        self,
+        site_id: int,
+        item: str,
+        expected: int | None = None,
+        privileged: bool = False,
+        peek_unreadable: bool = False,
+    ) -> typing.Generator:
+        """Read the copy of ``item`` at ``site_id``; returns (value, version)."""
+        request = ReadRequest(
+            txn_id=self.txn.txn_id,
+            txn_seq=self.txn.seq,
+            kind=self.txn.kind.value,
+            item=item,
+            expected=expected,
+            privileged=privileged,
+            peek_unreadable=peek_unreadable,
+        )
+        self.txn.touched_sites.add(site_id)
+        reply = yield self.tm.rpc.call(
+            site_id, "dm.read", request, timeout=self.tm.config.rpc_timeout
+        )
+        return reply
+
+    def dm_write(
+        self,
+        site_id: int,
+        item: str,
+        value: object,
+        expected: int | None = None,
+        privileged: bool = False,
+        version_override: Version | None = None,
+        applied_sites: tuple[int, ...] = (),
+        missed_sites: tuple[int, ...] = (),
+    ) -> typing.Generator:
+        """Buffer a write of ``item`` at ``site_id`` (applied at commit)."""
+        request = WriteRequest(
+            txn_id=self.txn.txn_id,
+            txn_seq=self.txn.seq,
+            kind=self.txn.kind.value,
+            item=item,
+            value=value,
+            expected=expected,
+            privileged=privileged,
+            version_override=version_override,
+            applied_sites=applied_sites,
+            missed_sites=missed_sites,
+        )
+        self.txn.touched_sites.add(site_id)
+        yield self.tm.rpc.call(site_id, "dm.write", request, timeout=self.tm.config.rpc_timeout)
+        self.txn.wrote_sites.add(site_id)
+        return None
+
+    def dm_write_all(
+        self,
+        targets: typing.Sequence[tuple[int, int | None]],
+        item: str,
+        value: object,
+        privileged: bool = False,
+        version_override: Version | None = None,
+        missed_sites: tuple[int, ...] = (),
+    ) -> typing.Generator:
+        """Fan a write out to ``targets`` (pairs of site id and expected
+        session) in parallel; succeeds only if every target acks.
+
+        The first failure aborts the wait and propagates (write-all
+        semantics: "OP fails if any one of the op's fails", §2).
+        """
+        applied_sites = tuple(site_id for site_id, _expected in targets)
+        futures = []
+        for site_id, expected in targets:
+            request = WriteRequest(
+                txn_id=self.txn.txn_id,
+                txn_seq=self.txn.seq,
+                kind=self.txn.kind.value,
+                item=item,
+                value=value,
+                expected=expected,
+                privileged=privileged,
+                version_override=version_override,
+                applied_sites=applied_sites,
+                missed_sites=missed_sites,
+            )
+            self.txn.touched_sites.add(site_id)
+            futures.append(
+                (site_id, self.tm.rpc.call(site_id, "dm.write", request,
+                                           timeout=self.tm.config.rpc_timeout))
+            )
+        for site_id, future in futures:
+            yield future
+            self.txn.wrote_sites.add(site_id)
+        return None
+
+    def release_site(self, site_id: int) -> None:
+        """Fire-and-forget lock release at one site (no reply awaited)."""
+        self.tm.rpc.call(site_id, "dm.release", FinishRequest(self.txn.txn_id))

@@ -1,0 +1,370 @@
+"""The data manager (DM): physical operations on one site's copies.
+
+Responsibilities (§2, §3.1–§3.2 of the paper):
+
+* carry out physical reads/writes under strict 2PL;
+* perform the session-number check on every request: a request tagged
+  with an ``expected`` session that differs from the site's actual
+  session ``as[k]`` is rejected with
+  :class:`~repro.errors.SessionMismatch` — this is what makes stale views
+  harmless;
+* refuse user operations unless the site is operational, while accepting
+  *privileged* (control-transaction) operations in the recovering state;
+* reject reads of copies marked unreadable (and notify the recovery
+  layer, which may trigger an on-demand copier);
+* act as a 2PC participant with presumed-abort semantics and cooperative
+  termination, so that locks never leak when a coordinator crashes.
+
+Volatile vs stable: the lock table and all participation records
+(buffered writes, prepared flags) die with the site; only committed
+writes reach the :class:`~repro.storage.copies.CopyStore`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.errors import (
+    CopyUnreadable,
+    NetworkError,
+    NotOperational,
+    SessionMismatch,
+    TransactionError,
+)
+from repro.histories.recorder import HistoryRecorder
+from repro.sim.kernel import Kernel
+from repro.site.site import Site
+from repro.storage.copies import Version
+from repro.txn.config import TxnConfig
+from repro.txn.locks import LockManager, LockMode
+from repro.txn.payloads import (
+    CommitRequest,
+    FinishRequest,
+    OutcomeQuery,
+    PrepareRequest,
+    ReadRequest,
+    WriteRequest,
+)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class WriteIntent:
+    """A buffered write awaiting the 2PC decision."""
+
+    value: object
+    version_override: Version | None
+    applied_sites: tuple[int, ...]
+    missed_sites: tuple[int, ...]
+
+
+@dataclasses.dataclass
+class _Participation:
+    """Volatile record of one transaction's activity at this DM."""
+
+    txn_id: str
+    txn_seq: int
+    kind: str
+    coordinator: int
+    writes: dict[str, WriteIntent] = dataclasses.field(default_factory=dict)
+    prepared: bool = False
+    participants: tuple[int, ...] = ()
+
+
+class DataManager:
+    """One site's DM. Construct once per site; survives crashes in place
+    (its volatile state is reset by the site's crash hook)."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        site: Site,
+        recorder: HistoryRecorder,
+        config: TxnConfig,
+    ) -> None:
+        self.kernel = kernel
+        self.site = site
+        self.recorder = recorder
+        self.config = config
+        self.lock_manager = LockManager(kernel, site.site_id, config.lock_wait_timeout)
+        self.actual_session = 0  # as[k]; volatile, set by the session manager
+        self._participations: dict[str, _Participation] = {}
+        self._decided: dict[str, tuple[str, Version | None]] = {}
+        self.unreadable_read_hooks: list[typing.Callable[[str], None]] = []
+        #: Optional §5 stale-tracking refinement (fail-locks / missing
+        #: lists); called as ``on_commit_write(item, applied, missed)``
+        #: for every committed physical write at this site.
+        self.stale_tracker: typing.Any = None
+        self.stats_session_rejections = 0
+        self.stats_unreadable_rejections = 0
+
+        site.rpc.register("dm.read", self._handle_read)
+        site.rpc.register("dm.write", self._handle_write)
+        site.rpc.register("dm.prepare", self._handle_prepare)
+        site.rpc.register("dm.commit", self._handle_commit)
+        site.rpc.register("dm.abort", self._handle_finish)
+        site.rpc.register("dm.release", self._handle_finish)
+        site.rpc.register("dm.outcome", self._handle_outcome)
+        site.crash_hooks.append(self._on_crash)
+
+    @property
+    def site_id(self) -> int:
+        return self.site.site_id
+
+    # -- crash semantics ------------------------------------------------------
+
+    def _on_crash(self) -> None:
+        self.lock_manager = LockManager(
+            self.kernel, self.site_id, self.config.lock_wait_timeout
+        )
+        self._participations.clear()
+        self._decided.clear()
+        self.actual_session = 0
+
+    # -- access checks -----------------------------------------------------------
+
+    def _check_access(self, expected: int | None, privileged: bool) -> None:
+        if privileged:
+            return
+        # §3.1: the request carries the session number the requester
+        # believes this site is in; inequality with as[k] rejects it.
+        # A recovering site (as[k] = 0) mismatches every tagged request,
+        # which is exactly how the paper keeps user transactions out
+        # before the type-1 control transaction commits.
+        if expected is not None and expected != self.actual_session:
+            self.stats_session_rejections += 1
+            raise SessionMismatch(self.site_id, expected, self.actual_session)
+        if not self.site.is_operational or self.site.user_frozen:
+            # The frozen state (partition mode) refuses unprivileged
+            # physical operations too: serving a read from a possibly
+            # stale copy to a peer with an old view would leak the
+            # pre-partition world.
+            raise NotOperational(self.site_id)
+
+    def _participation(self, request: ReadRequest | WriteRequest, src: int) -> _Participation:
+        if request.txn_id in self._decided:
+            # A straggler operation of a transaction we already finished
+            # (its abort raced this request through the network).
+            raise TransactionError(
+                f"site {self.site_id}: {request.txn_id} already decided"
+            )
+        part = self._participations.get(request.txn_id)
+        if part is None:
+            part = _Participation(
+                txn_id=request.txn_id,
+                txn_seq=request.txn_seq,
+                kind=request.kind,
+                coordinator=src,
+            )
+            self._participations[request.txn_id] = part
+            self.site.spawn(
+                self._orphan_watch(request.txn_id), name=f"orphan-watch:{request.txn_id}"
+            )
+        return part
+
+    # -- operation handlers ---------------------------------------------------------
+
+    def _handle_read(self, request: ReadRequest, src: int) -> typing.Generator:
+        self._check_access(request.expected, request.privileged)
+        part = self._participation(request, src)
+        if request.item in part.writes:
+            # Read-your-own-write: serve the buffered intent.
+            intent = part.writes[request.item]
+            return intent.value, Version(self.kernel.now, 0, request.txn_seq)
+        yield self.lock_manager.acquire(request.txn_id, request.item, LockMode.S)
+        if not self.site.copies.has(request.item):
+            raise TransactionError(f"site {self.site_id} holds no copy of {request.item}")
+        copy = self.site.copies.get(request.item)
+        if request.peek_unreadable:
+            # Metadata peek (§5 version comparison): not a database read,
+            # so no unreadable check and no history record.
+            return copy.value, copy.version
+        if copy.unreadable:
+            self.stats_unreadable_rejections += 1
+            # Drop the S lock just granted: the transaction observed no
+            # data, and keeping it would block the copier this rejection
+            # is about to trigger.
+            self.lock_manager.release_one(request.txn_id, request.item)
+            for hook in list(self.unreadable_read_hooks):
+                hook(request.item)
+            raise CopyUnreadable(request.item, self.site_id)
+        self.recorder.record_read(
+            time=self.kernel.now,
+            txn_id=request.txn_id,
+            txn_seq=request.txn_seq,
+            kind=request.kind,
+            item=request.item,
+            site=self.site_id,
+            version_seq=copy.version.seq,
+            version_ts=copy.version.ts,
+            version_commit=copy.version.commit,
+        )
+        return copy.value, copy.version
+
+    def _handle_write(self, request: WriteRequest, src: int) -> typing.Generator:
+        self._check_access(request.expected, request.privileged)
+        part = self._participation(request, src)
+        yield self.lock_manager.acquire(request.txn_id, request.item, LockMode.X)
+        if not self.site.copies.has(request.item):
+            raise TransactionError(f"site {self.site_id} holds no copy of {request.item}")
+        part.writes[request.item] = WriteIntent(
+            value=request.value,
+            version_override=request.version_override,
+            applied_sites=request.applied_sites,
+            missed_sites=request.missed_sites,
+        )
+        return True
+
+    # -- 2PC participant ------------------------------------------------------------
+
+    def _handle_prepare(self, request: PrepareRequest, src: int) -> bool:
+        part = self._participations.get(request.txn_id)
+        if part is None:
+            # We lost the workspace (crash) or never saw the transaction:
+            # vote no; presumed abort makes this safe.
+            return False
+        part.prepared = True
+        part.participants = tuple(request.participants)
+        return True
+
+    def _handle_commit(self, request: CommitRequest, src: int) -> bool:
+        self._apply_commit(request.txn_id, request.version)
+        return True
+
+    def _handle_finish(self, request: FinishRequest, src: int) -> bool:
+        self._apply_abort(request.txn_id)
+        return True
+
+    def _handle_outcome(self, query: OutcomeQuery, src: int) -> tuple[str, Version | None]:
+        decided = self._decided.get(query.txn_id)
+        if decided is not None:
+            return decided
+        part = self._participations.get(query.txn_id)
+        if part is None:
+            return ("unknown", None)
+        return ("prepared" if part.prepared else "active", None)
+
+    def _apply_commit(self, txn_id: str, version: Version) -> None:
+        part = self._participations.pop(txn_id, None)
+        if part is None:
+            return  # idempotent (duplicate decision or post-crash)
+        for item, intent in part.writes.items():
+            applied = intent.version_override if intent.version_override is not None else version
+            self.site.copies.apply_write(item, intent.value, applied)
+            self.recorder.record_write(
+                time=self.kernel.now,
+                txn_id=txn_id,
+                txn_seq=part.txn_seq,
+                kind=part.kind,
+                item=item,
+                site=self.site_id,
+                version_seq=applied.seq,
+                version_ts=applied.ts,
+                version_commit=applied.commit,
+            )
+            if self.stale_tracker is not None:
+                self.stale_tracker.on_commit_write(
+                    item,
+                    intent.applied_sites,
+                    intent.missed_sites,
+                    value=intent.value,
+                    version=applied,
+                )
+        self._decided[txn_id] = ("committed", version)
+        self.lock_manager.cancel(txn_id)
+
+    def _apply_abort(self, txn_id: str) -> None:
+        part = self._participations.pop(txn_id, None)
+        if part is not None:
+            self._decided[txn_id] = ("aborted", None)
+        self.lock_manager.cancel(txn_id)
+
+    # -- orphan/in-doubt termination -----------------------------------------------
+
+    def resolve_orphans_of(self, coordinator: int) -> None:
+        """Immediately resolve transactions coordinated by a site that the
+        failure detector just declared down.
+
+        Without this, locks held by a crashed coordinator's transactions
+        leak until the periodic orphan watcher's ``decision_timeout``
+        fires — long enough to stall user transactions and, transitively,
+        the NS lock chain a recovering site's type-1 needs (observed in
+        the operations-dashboard incident). The watcher remains as the
+        backstop for coordinators that stop answering without crashing.
+        """
+        for part in list(self._participations.values()):
+            if part.coordinator == coordinator:
+                self.site.spawn(
+                    self._resolve_once(part.txn_id),
+                    name=f"orphan-now:{part.txn_id}",
+                )
+
+    def _resolve_once(self, txn_id: str) -> typing.Generator:
+        part = self._participations.get(txn_id)
+        if part is None:
+            return
+        yield from self._resolve(part)
+
+    def _orphan_watch(self, txn_id: str) -> typing.Generator:
+        """Resolve transactions whose coordinator stopped talking to us.
+
+        Covers both in-doubt prepared participants (classic 2PC
+        termination) and plain orphans (coordinator crashed before
+        prepare, leaving locks held here). Presumed abort: when neither
+        the coordinator nor any peer knows a commit, abort.
+        """
+        while True:
+            yield self.kernel.timeout(self.config.decision_timeout)
+            part = self._participations.get(txn_id)
+            if part is None:
+                return  # decided through the normal path
+            done = yield from self._resolve(part)
+            if done:
+                return
+
+    def _resolve(self, part: _Participation) -> typing.Generator:
+        status, version = yield from self._query(
+            part.coordinator, "tm.outcome", part.txn_id
+        )
+        if status == "committed":
+            assert version is not None
+            self._apply_commit(part.txn_id, version)
+            return True
+        if status == "aborted":
+            self._apply_abort(part.txn_id)
+            return True
+        if status == "active":
+            return False  # coordinator alive and still working; keep waiting
+        # Coordinator unreachable: ask the other participants
+        # (cooperative termination).
+        for peer in part.participants:
+            if peer == self.site_id:
+                continue
+            status, version = yield from self._query(peer, "dm.outcome", part.txn_id)
+            if status == "committed":
+                assert version is not None
+                self._apply_commit(part.txn_id, version)
+                return True
+            if status == "aborted":
+                self._apply_abort(part.txn_id)
+                return True
+        if part.prepared:
+            # In doubt with no decisive evidence: BLOCK (keep polling).
+            # The coordinator logs commit decisions stably before sending
+            # them, so when it recovers it will answer authoritatively;
+            # unilaterally presuming abort here could undo a decided
+            # commit (the classic 2PC blocking window).
+            return False
+        # Never prepared: the coordinator cannot have decided commit, so
+        # presumed abort is safe for a plain orphan.
+        self._apply_abort(part.txn_id)
+        return True
+
+    def _query(self, site_id: int, kind: str, txn_id: str) -> typing.Generator:
+        try:
+            reply = yield self.site.rpc.call(
+                site_id, kind, OutcomeQuery(txn_id), timeout=self.config.rpc_timeout
+            )
+        except (NetworkError, TransactionError):
+            return ("unreachable", None)
+        return reply

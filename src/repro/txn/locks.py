@@ -1,0 +1,277 @@
+"""Strict two-phase locking: per-site lock tables.
+
+The lock table is *volatile*: a site crash discards it wholesale (the
+site's crash hook replaces the manager), which is precisely why the paper
+needs unreadable marks + copiers rather than lock-based recovery.
+
+Grant policy
+------------
+* Shared (S) locks are compatible with each other; exclusive (X) locks
+  conflict with everything.
+* Re-entrant: a holder asking for a mode already covered is granted
+  immediately; an S-holder asking for X is an *upgrade*, queued at the
+  front so it is granted as soon as the other readers drain.
+* Otherwise strict FIFO: a request is granted only when it is at the head
+  of the queue and compatible with all current holders (no starvation;
+  the wait-for graph includes queue-order edges so FIFO-induced cycles
+  are still detected).
+
+Waiters may abandon the queue (their process is interrupted by a crash or
+a deadlock abort); abandoned requests are purged lazily via the future's
+abandon hook.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import enum
+import typing
+
+from repro.errors import DeadlockDetected
+from repro.sim.events import Future
+from repro.sim.kernel import Kernel
+
+
+class LockMode(enum.Enum):
+    S = "S"
+    X = "X"
+
+    def covers(self, other: "LockMode") -> bool:
+        """True if holding ``self`` satisfies a request for ``other``."""
+        return self is LockMode.X or other is LockMode.S
+
+    def compatible(self, other: "LockMode") -> bool:
+        """True if this mode can be held concurrently with ``other``."""
+        return self is LockMode.S and other is LockMode.S
+
+
+@dataclasses.dataclass
+class _Request:
+    txn_id: str
+    mode: LockMode
+    future: Future
+    upgrade: bool = False
+
+
+class _LockState:
+    __slots__ = ("item", "holders", "queue")
+
+    def __init__(self, item: str) -> None:
+        self.item = item
+        self.holders: dict[str, LockMode] = {}
+        self.queue: collections.deque[_Request] = collections.deque()
+
+
+class LockManager:
+    """The lock table of one site.
+
+    Parameters
+    ----------
+    kernel:
+        Simulation kernel (for futures and timeouts).
+    site_id:
+        Owning site, for diagnostics.
+    wait_timeout:
+        Optional backstop: a request waiting longer than this fails with
+        :class:`~repro.errors.DeadlockDetected` even if the global
+        detector has not run (None disables).
+    """
+
+    def __init__(self, kernel: Kernel, site_id: int, wait_timeout: float | None = None) -> None:
+        self.kernel = kernel
+        self.site_id = site_id
+        self.wait_timeout = wait_timeout
+        self._table: dict[str, _LockState] = {}
+        self._held_by_txn: dict[str, set[str]] = {}
+        self.stats_waits = 0
+        self.stats_grants = 0
+
+    # -- public API -----------------------------------------------------------
+
+    def acquire(self, txn_id: str, item: str, mode: LockMode) -> Future:
+        """Request a lock; the future succeeds when granted.
+
+        Fails with :class:`DeadlockDetected` if the request is chosen as a
+        deadlock victim or outlives ``wait_timeout``.
+        """
+        state = self._table.get(item)
+        if state is None:
+            state = self._table[item] = _LockState(item)
+        future = Future(self.kernel, name=f"lock:{item}:{mode.value}:{txn_id}")
+
+        held = state.holders.get(txn_id)
+        if held is not None and held.covers(mode):
+            self.stats_grants += 1
+            future.succeed()
+            return future
+
+        upgrade = held is LockMode.S and mode is LockMode.X
+        request = _Request(txn_id, mode, future, upgrade=upgrade)
+
+        if self._can_grant(state, request):
+            self._grant(state, request)
+            return future
+
+        self.stats_waits += 1
+        if upgrade:
+            state.queue.appendleft(request)
+        else:
+            state.queue.append(request)
+        future.on_abandoned(lambda _fut, it=item, req=request: self._abandon(it, req))
+        if self.wait_timeout is not None:
+            self.kernel.timeout(self.wait_timeout).add_callback(
+                lambda _ev, it=item, req=request: self._expire(it, req)
+            )
+        return future
+
+    def cancel(self, txn_id: str) -> None:
+        """Abort-time cleanup: fail queued requests, then release holds.
+
+        ``release_all`` alone is not enough when the transaction ends
+        while one of its lock requests is still queued: the stale request
+        would eventually be granted to a transaction that no longer
+        exists and the lock would leak forever.
+        """
+        self.kill_waiter(txn_id)
+        self.release_all(txn_id)
+
+    def release_all(self, txn_id: str) -> None:
+        """Strict 2PL release point: drop every lock held by ``txn_id``."""
+        items = self._held_by_txn.pop(txn_id, set())
+        for item in items:
+            state = self._table.get(item)
+            if state is None:
+                continue
+            state.holders.pop(txn_id, None)
+            self._promote_waiters(item, state)
+
+    def release_one(self, txn_id: str, item: str) -> None:
+        """Release a single lock early.
+
+        Only safe before the transaction has observed data under this
+        lock — used when a read is refused (unreadable copy) right after
+        its S lock was granted, so the lock carries no 2PL obligation and
+        holding it would stall the copier that must renovate the copy.
+        """
+        state = self._table.get(item)
+        if state is None or txn_id not in state.holders:
+            return
+        state.holders.pop(txn_id)
+        held = self._held_by_txn.get(txn_id)
+        if held is not None:
+            held.discard(item)
+        self._promote_waiters(item, state)
+
+    def holds(self, txn_id: str, item: str, mode: LockMode) -> bool:
+        """True if ``txn_id`` currently holds ``item`` in a covering mode."""
+        state = self._table.get(item)
+        if state is None:
+            return False
+        held = state.holders.get(txn_id)
+        return held is not None and held.covers(mode)
+
+    def kill_waiter(self, txn_id: str) -> bool:
+        """Fail all queued requests of ``txn_id`` (deadlock victim).
+
+        Returns True if any request was killed.
+        """
+        killed = False
+        for item, state in self._table.items():
+            victims = [r for r in state.queue if r.txn_id == txn_id]
+            for request in victims:
+                state.queue.remove(request)
+                killed = True
+                if not request.future.triggered:
+                    request.future.fail(DeadlockDetected(txn_id))
+            if victims:
+                self._promote_waiters(item, state)
+        return killed
+
+    # -- introspection for the deadlock detector ---------------------------------
+
+    def wait_edges(self) -> list[tuple[str, str]]:
+        """(waiter, blocker) pairs for the global wait-for graph.
+
+        A queued request waits on every conflicting current holder and on
+        every conflicting request ahead of it in the queue (FIFO order is
+        itself a blocking relation).
+        """
+        edges: list[tuple[str, str]] = []
+        for state in self._table.values():
+            for index, request in enumerate(state.queue):
+                for holder, held_mode in state.holders.items():
+                    if holder != request.txn_id and not request.mode.compatible(held_mode):
+                        edges.append((request.txn_id, holder))
+                for ahead in list(state.queue)[:index]:
+                    if ahead.txn_id != request.txn_id and not request.mode.compatible(
+                        ahead.mode
+                    ):
+                        edges.append((request.txn_id, ahead.txn_id))
+        return edges
+
+    def waiting_txns(self) -> set[str]:
+        """Transactions with at least one queued request here."""
+        return {request.txn_id for state in self._table.values() for request in state.queue}
+
+    # -- internals ------------------------------------------------------------
+
+    def _can_grant(self, state: _LockState, request: _Request) -> bool:
+        compatible_with_holders = all(
+            holder == request.txn_id or request.mode.compatible(mode)
+            for holder, mode in state.holders.items()
+        )
+        if not compatible_with_holders:
+            return False
+        if request.upgrade:
+            # Upgrades jump the queue; only the holders matter.
+            return True
+        return not state.queue
+
+    def _grant(self, state: _LockState, request: _Request) -> None:
+        state.holders[request.txn_id] = request.mode
+        self._held_by_txn.setdefault(request.txn_id, set()).add(state.item)
+        self.stats_grants += 1
+        if not request.future.triggered:
+            request.future.succeed()
+
+    def _promote_waiters(self, item: str, state: _LockState) -> None:
+        # Upgrades first (they sit at the front), then FIFO batches of
+        # compatible requests.
+        while state.queue:
+            head = state.queue[0]
+            if not self._compatible_with_holders(state, head):
+                break
+            state.queue.popleft()
+            state.holders[head.txn_id] = head.mode
+            self._held_by_txn.setdefault(head.txn_id, set()).add(item)
+            self.stats_grants += 1
+            if not head.future.triggered:
+                head.future.succeed()
+            if head.mode is LockMode.X:
+                break
+
+    def _compatible_with_holders(self, state: _LockState, request: _Request) -> bool:
+        return all(
+            holder == request.txn_id or request.mode.compatible(mode)
+            for holder, mode in state.holders.items()
+        )
+
+    def _abandon(self, item: str, request: _Request) -> None:
+        state = self._table.get(item)
+        if state is None:
+            return
+        try:
+            state.queue.remove(request)
+        except ValueError:
+            return
+        self._promote_waiters(item, state)
+
+    def _expire(self, item: str, request: _Request) -> None:
+        state = self._table.get(item)
+        if state is None or request not in state.queue:
+            return
+        state.queue.remove(request)
+        if not request.future.triggered:
+            request.future.fail(DeadlockDetected(request.txn_id))
+        self._promote_waiters(item, state)

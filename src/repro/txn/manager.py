@@ -1,0 +1,271 @@
+"""The transaction manager (TM): supervises transaction execution (§2).
+
+The TM at a site runs each transaction as a simulated process:
+
+1. gate by transaction class (user transactions only at operational
+   sites; control transactions also while recovering — §3.3);
+2. let the replication strategy establish the transaction's view
+   (for ROWAA: the implicit read of the local nominal session vector);
+3. drive the user program, whose logical operations the strategy
+   interprets into physical DM requests;
+4. terminate via presumed-abort two-phase commit over the written sites.
+
+Any protocol-level failure (session mismatch, deadlock victim, copy
+unreadable after redirects, RPC timeout, vote no) aborts the transaction
+and surfaces as :class:`~repro.errors.TransactionAborted` carrying the
+reason — callers and the experiment harness classify aborts by it.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import typing
+
+from repro.errors import (
+    NetworkError,
+    NotOperational,
+    ReproError,
+    TransactionAborted,
+    TransactionError,
+)
+from repro.histories.recorder import HistoryRecorder
+from repro.sim.kernel import Kernel
+from repro.sim.process import Process
+from repro.site.site import Site
+from repro.storage.catalog import Catalog
+from repro.storage.copies import Version
+from repro.txn.config import TxnConfig
+from repro.txn.context import TxnContext
+from repro.txn.payloads import CommitRequest, FinishRequest, OutcomeQuery, PrepareRequest
+from repro.txn.strategy import ReplicationStrategy
+from repro.txn.transaction import Transaction, TxnKind, TxnStatus, next_commit_seq
+
+TxnProgram = typing.Callable[[TxnContext], typing.Generator]
+
+#: Exceptions that abort the transaction (vs. programming errors, which
+#: propagate unchanged so they surface as bugs).
+ABORT_CAUSES = (TransactionError, NetworkError)
+
+
+@dataclasses.dataclass
+class TmStats:
+    """Per-TM counters for the experiment harness."""
+
+    committed: int = 0
+    aborted: int = 0
+    refused: int = 0  # user txns refused because the site was not operational
+    aborts_by_reason: collections.Counter = dataclasses.field(
+        default_factory=collections.Counter
+    )
+    commit_latencies: list[float] = dataclasses.field(default_factory=list)
+
+
+class TransactionManager:
+    """One site's TM."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        site: Site,
+        catalog: Catalog,
+        strategy: ReplicationStrategy,
+        recorder: HistoryRecorder,
+        config: TxnConfig,
+    ) -> None:
+        self.kernel = kernel
+        self.site = site
+        self.catalog = catalog
+        self.strategy = strategy
+        self.recorder = recorder
+        self.config = config
+        self.stats = TmStats()
+        #: "commit" (default): versions order by 2PC decision instant —
+        #: correct for 2PL, where conflict order equals commit order.
+        #: "timestamp": versions order by transaction timestamp — the
+        #: serialization order of the TO scheduler
+        #: (:mod:`repro.txn.timestamp`).
+        self.version_policy: str = "commit"
+        #: Observers called with the finished Transaction after every
+        #: commit or abort (tracing, experiment instrumentation).
+        self.finish_hooks: list[typing.Callable[[Transaction], None]] = []
+        self._active: set[str] = set()
+        self._outcomes: dict[str, tuple[str, Version | None]] = {}
+        site.rpc.register("tm.outcome", self._handle_outcome)
+        site.crash_hooks.append(self._on_crash)
+
+    @property
+    def site_id(self) -> int:
+        return self.site.site_id
+
+    @property
+    def rpc(self):
+        return self.site.rpc
+
+    # -- crash semantics ----------------------------------------------------
+
+    def _on_crash(self) -> None:
+        # Presumed abort: abort outcomes are volatile and forgotten; an
+        # in-doubt participant asking a restarted coordinator about an
+        # unlogged transaction gets "aborted", which is correct because
+        # commit decisions are *stably logged before any COMMIT message
+        # is sent* (see :meth:`_finish`).
+        self._active.clear()
+        self._outcomes.clear()
+
+    def _handle_outcome(self, query: OutcomeQuery, src: int) -> tuple[str, Version | None]:
+        if query.txn_id in self._active:
+            return ("active", None)
+        committed = self.site.stable.get(f"tm.commit.{query.txn_id}")
+        if committed is not None:
+            return ("committed", committed)  # type: ignore[return-value]
+        outcome = self._outcomes.get(query.txn_id)
+        if outcome is not None:
+            return outcome
+        return ("aborted", None)  # presumed abort
+
+    # -- public API -----------------------------------------------------------
+
+    def submit(self, program: TxnProgram, kind: TxnKind = TxnKind.USER) -> Process:
+        """Run ``program`` as a transaction in its own process.
+
+        The returned process succeeds with the program's return value or
+        fails with :class:`TransactionAborted` (or the original exception
+        for non-protocol bugs). The process dies silently if the site
+        crashes mid-flight — in-doubt state is cleaned up by participant
+        termination.
+        """
+        return self.site.spawn(self.run(program, kind), name=f"txn:{kind.value}")
+
+    def run(self, program: TxnProgram, kind: TxnKind = TxnKind.USER) -> typing.Generator:
+        """Transaction body; drive with ``yield from`` or via :meth:`submit`."""
+        if kind is TxnKind.USER and (
+            not self.site.is_operational or self.site.user_frozen
+        ):
+            self.stats.refused += 1
+            raise NotOperational(self.site_id)
+        txn = Transaction(home_site=self.site_id, kind=kind, start_time=self.kernel.now)
+        ctx = TxnContext(self, txn)
+        self._active.add(txn.txn_id)
+        try:
+            if kind is TxnKind.USER:
+                yield from self.strategy.begin(ctx)
+            result = yield from program(ctx)
+        except ABORT_CAUSES as exc:
+            yield from self._abort(ctx, exc)
+            raise TransactionAborted(txn.txn_id, _reason_of(exc)) from exc
+        except BaseException:
+            # Programming error or site crash (Interrupt): release what we
+            # can and re-raise unchanged.
+            if not txn.is_finished:
+                self._abort_fire_and_forget(ctx, "crash-or-bug")
+            raise
+        yield from self._commit(ctx)
+        return result
+
+    # -- termination --------------------------------------------------------------
+
+    def _commit(self, ctx: TxnContext) -> typing.Generator:
+        txn = ctx.txn
+        write_sites = sorted(txn.wrote_sites)
+        read_only_sites = sorted(txn.touched_sites - txn.wrote_sites)
+
+        if not write_sites:
+            self._finish(txn, TxnStatus.COMMITTED, None)
+            for site_id in read_only_sites:
+                ctx.release_site(site_id)
+            return
+
+        prepare = PrepareRequest(txn_id=txn.txn_id, participants=tuple(write_sites))
+        votes = self.rpc.call_many(
+            write_sites, "dm.prepare", prepare, timeout=self.config.rpc_timeout
+        )
+        all_yes = True
+        for _site_id, future in votes:
+            try:
+                vote = yield future
+            except (NetworkError, TransactionError):
+                vote = False
+            all_yes = all_yes and bool(vote)
+
+        if not all_yes:
+            yield from self._abort(ctx, TransactionError("prepare phase failed"))
+            raise TransactionAborted(txn.txn_id, "prepare-failed")
+
+        if self.version_policy == "timestamp":
+            version = Version(txn.start_time, txn.seq, txn.seq)
+        else:
+            version = Version(self.kernel.now, next_commit_seq(), txn.seq)
+        self._finish(txn, TxnStatus.COMMITTED, version)
+        acks = self.rpc.call_many(
+            write_sites, "dm.commit", CommitRequest(txn.txn_id, version),
+            timeout=self.config.rpc_timeout,
+        )
+        for site_id in read_only_sites:
+            ctx.release_site(site_id)
+        for _site_id, future in acks:
+            try:
+                yield future
+            except (NetworkError, TransactionError):
+                pass  # decision is final; recovery marks cover the miss
+
+    def _abort(self, ctx: TxnContext, cause: BaseException) -> typing.Generator:
+        txn = ctx.txn
+        self._finish(txn, TxnStatus.ABORTED, None, reason=_reason_of(cause))
+        acks = self.rpc.call_many(
+            sorted(txn.touched_sites), "dm.abort", FinishRequest(txn.txn_id),
+            timeout=self.config.rpc_timeout,
+        )
+        for _site_id, future in acks:
+            try:
+                yield future
+            except (NetworkError, TransactionError):
+                pass
+        return None
+
+    def _abort_fire_and_forget(self, ctx: TxnContext, reason: str) -> None:
+        txn = ctx.txn
+        self._finish(txn, TxnStatus.ABORTED, None, reason=reason)
+        if self.site.rpc.running:
+            self.rpc.call_many(sorted(txn.touched_sites), "dm.abort", FinishRequest(txn.txn_id))
+
+    def _finish(
+        self,
+        txn: Transaction,
+        status: TxnStatus,
+        version: Version | None,
+        reason: str | None = None,
+    ) -> None:
+        txn.status = status
+        txn.end_time = self.kernel.now
+        txn.abort_reason = reason
+        self._active.discard(txn.txn_id)
+        if status is TxnStatus.COMMITTED:
+            if txn.wrote_sites:
+                # The commit point: force the decision to stable storage
+                # BEFORE any COMMIT message leaves this site, so a
+                # restarted coordinator answers in-doubt participants
+                # correctly (presumed abort's one logging requirement).
+                self.site.stable.put(f"tm.commit.{txn.txn_id}", version)
+            self._outcomes[txn.txn_id] = ("committed", version)
+            self.recorder.mark_committed(txn.txn_id)
+            self.stats.committed += 1
+            self.stats.commit_latencies.append(txn.end_time - txn.start_time)
+        else:
+            self._outcomes[txn.txn_id] = ("aborted", None)
+            self.recorder.mark_aborted(txn.txn_id)
+            self.stats.aborted += 1
+            self.stats.aborts_by_reason[reason or "unknown"] += 1
+        for hook in list(self.finish_hooks):
+            hook(txn)
+
+
+def _reason_of(exc: BaseException) -> str:
+    """Stable, kebab-cased abort-reason label for metrics."""
+    name = type(exc).__name__
+    out = []
+    for index, char in enumerate(name):
+        if char.isupper() and index > 0:
+            out.append("-")
+        out.append(char.lower())
+    return "".join(out)

@@ -1,0 +1,86 @@
+"""Typed payloads of the TM↔DM protocol messages."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.storage.copies import Version
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ReadRequest:
+    """Read one physical copy (§3.2).
+
+    ``expected`` is the session number the requester believes the target
+    site is in (``ns_i[k]``); ``None`` disables the check (used by
+    baselines that predate session numbers, and for a TM's reads at its
+    own site where TM and DM share ``as[k]``). ``privileged`` marks
+    control-transaction operations, which recovering sites must accept
+    (§3.3).
+    """
+
+    txn_id: str
+    txn_seq: int
+    kind: str
+    item: str
+    expected: int | None = None
+    privileged: bool = False
+    peek_unreadable: bool = False
+    """Copier bookkeeping read: may observe an unreadable copy's version
+    (for the §5 version-number optimisation) and is not recorded in the
+    history — it reads metadata, not the database."""
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class WriteRequest:
+    """Buffer a write intent for one physical copy.
+
+    ``version_override`` carries the source version for copier-style
+    writes (copiers and the renovation writes of type-1 control
+    transactions), preserving original-writer provenance (§4).
+    """
+
+    txn_id: str
+    txn_seq: int
+    kind: str
+    item: str
+    value: object
+    expected: int | None = None
+    privileged: bool = False
+    version_override: Version | None = None
+    applied_sites: tuple[int, ...] = ()
+    """All sites this logical write is being sent to (their copies become
+    current at commit); used by the §5 stale-tracking refinements."""
+    missed_sites: tuple[int, ...] = ()
+    """Resident sites the writer skipped because they were nominally down;
+    their copies miss this update (fail-locks / missing-list entries)."""
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class PrepareRequest:
+    """2PC phase one. ``participants`` enables cooperative termination."""
+
+    txn_id: str
+    participants: tuple[int, ...]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class CommitRequest:
+    """2PC decision: apply buffered writes with ``version``."""
+
+    txn_id: str
+    version: Version
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class FinishRequest:
+    """Abort or release: drop buffered writes, release all locks."""
+
+    txn_id: str
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class OutcomeQuery:
+    """Ask a TM or DM what it knows about a transaction's fate."""
+
+    txn_id: str

@@ -1,0 +1,42 @@
+"""The replication-strategy interface.
+
+A strategy is the *interpretation* of logical READ/WRITE operations over
+physical copies (§2 of the paper): strict ROWA, the paper's ROWAA with
+session numbers, quorum consensus, directory-based available copies, or
+the deliberately broken naive scheme from the §1 counter-example. The TM
+is strategy-agnostic; user programs see only logical operations.
+
+Strategy methods are generator functions driven inside the transaction's
+process, so they can perform (and block on) DM operations through the
+:class:`~repro.txn.context.TxnContext` helpers.
+"""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.txn.context import TxnContext
+
+
+class ReplicationStrategy(typing.Protocol):
+    """Interprets logical operations for one system configuration."""
+
+    name: str
+
+    def begin(self, ctx: "TxnContext") -> typing.Generator:
+        """Establish the transaction's view of the system (user txns only).
+
+        For ROWAA this is the implicit read of the local nominal session
+        vector (§3.2); strategies without such a notion may return
+        immediately.
+        """
+        ...  # pragma: no cover - protocol
+
+    def read(self, ctx: "TxnContext", item: str) -> typing.Generator:
+        """Interpret logical READ; returns the value read."""
+        ...  # pragma: no cover - protocol
+
+    def write(self, ctx: "TxnContext", item: str, value: object) -> typing.Generator:
+        """Interpret logical WRITE; raises to abort on failure."""
+        ...  # pragma: no cover - protocol

@@ -1,0 +1,86 @@
+"""Transaction records and the §3 transaction taxonomy."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import itertools
+
+_txn_counter = itertools.count(1)
+
+
+_commit_counter = itertools.count(1)
+
+
+def next_commit_seq() -> int:
+    """The next global commit sequence number (see ``Version.commit``)."""
+    return next(_commit_counter)
+
+
+def reset_txn_counter() -> None:
+    """Restart global transaction/commit numbering (new system instance).
+
+    Sequence numbers only need to be unique within one simulated system;
+    resetting at system construction makes runs reproducible regardless
+    of what ran earlier in the process. Never call this while a system
+    is live.
+    """
+    global _txn_counter, _commit_counter
+    _txn_counter = itertools.count(1)
+    _commit_counter = itertools.count(1)
+
+
+class TxnKind(enum.Enum):
+    """The three transaction classes of the paper.
+
+    * ``USER`` — ordinary application transactions (§3.2). Processed only
+      at operational sites.
+    * ``CONTROL`` — update nominal session numbers (§3.3). May be
+      processed at recovering sites as well.
+    * ``COPIER`` — refresh one unreadable copy from a readable peer
+      (§3.2). Treated specially by the §4 READ-FROM semantics.
+    """
+
+    USER = "user"
+    CONTROL = "control"
+    COPIER = "copier"
+
+
+class TxnStatus(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclasses.dataclass
+class Transaction:
+    """A transaction instance, created at its home site's TM.
+
+    ``seq`` is globally unique and doubles as the version tie-break for
+    committed writes; ``txn_id`` is the human-readable name used in locks,
+    messages, and histories.
+    """
+
+    home_site: int
+    kind: TxnKind = TxnKind.USER
+    seq: int = dataclasses.field(default_factory=lambda: next(_txn_counter))
+    status: TxnStatus = TxnStatus.ACTIVE
+    start_time: float = 0.0
+    end_time: float | None = None
+    abort_reason: str | None = None
+    # Populated as the transaction executes.
+    view: dict[int, int] = dataclasses.field(default_factory=dict)
+    touched_sites: set[int] = dataclasses.field(default_factory=set)
+    wrote_sites: set[int] = dataclasses.field(default_factory=set)
+
+    @property
+    def txn_id(self) -> str:
+        prefix = {TxnKind.USER: "T", TxnKind.CONTROL: "C", TxnKind.COPIER: "P"}[self.kind]
+        return f"{prefix}{self.seq}@{self.home_site}"
+
+    @property
+    def is_finished(self) -> bool:
+        return self.status is not TxnStatus.ACTIVE
+
+    def __repr__(self) -> str:
+        return f"<{self.txn_id} {self.kind.value} {self.status.value}>"

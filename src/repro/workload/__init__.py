@@ -1,0 +1,25 @@
+"""Workload and failure-injection generators for the experiments.
+
+* :class:`~repro.workload.generator.WorkloadSpec` /
+  :class:`~repro.workload.generator.WorkloadGenerator` — random
+  transaction programs (read/write mixes, uniform or zipfian access,
+  per-site clients, Poisson arrivals).
+* :class:`~repro.workload.failures.FailureSchedule` — scripted or random
+  crash/recover sequences, applied to a running system.
+* :class:`~repro.workload.client.ClientPool` — open-loop and closed-loop
+  client drivers collecting commit/abort/latency outcomes.
+"""
+
+from repro.workload.client import ClientPool, ClientStats, OpenLoopClient
+from repro.workload.failures import FailureEvent, FailureSchedule
+from repro.workload.generator import WorkloadGenerator, WorkloadSpec
+
+__all__ = [
+    "ClientPool",
+    "ClientStats",
+    "FailureEvent",
+    "FailureSchedule",
+    "OpenLoopClient",
+    "WorkloadGenerator",
+    "WorkloadSpec",
+]

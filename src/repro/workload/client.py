@@ -1,0 +1,189 @@
+"""Client drivers: issue generated transactions and collect outcomes."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.errors import Interrupt, NotOperational, TransactionAborted
+from repro.sim.process import Process
+from repro.workload.generator import WorkloadGenerator
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.system import DatabaseSystem
+
+
+@dataclasses.dataclass
+class ClientStats:
+    """Aggregated client-side outcomes (the availability metrics of E1)."""
+
+    attempted: int = 0
+    committed: int = 0
+    aborted: int = 0
+    refused: int = 0  # home site not operational
+    latencies: list[float] = dataclasses.field(default_factory=list)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of attempts that committed."""
+        if self.attempted == 0:
+            return 1.0
+        return self.committed / self.attempted
+
+    def merge(self, other: "ClientStats") -> None:
+        self.attempted += other.attempted
+        self.committed += other.committed
+        self.aborted += other.aborted
+        self.refused += other.refused
+        self.latencies.extend(other.latencies)
+
+
+class ClientPool:
+    """Closed-loop clients: each runs one transaction at a time.
+
+    Each client is pinned to a home site (round-robin). A transaction
+    attempt that aborts may be retried (``retries``); refusal because the
+    home site is down counts against availability (the user's terminal
+    is wired to that site — the paper's availability story is about
+    *data*, so experiments usually pin clients to surviving sites, but
+    E1 also reports the refused counts).
+    """
+
+    def __init__(
+        self,
+        system: "DatabaseSystem",
+        generator: WorkloadGenerator,
+        n_clients: int,
+        think_time: float = 1.0,
+        retries: int = 2,
+        retry_delay: float = 5.0,
+        home_sites: typing.Sequence[int] | None = None,
+    ) -> None:
+        self.system = system
+        self.generator = generator
+        self.n_clients = n_clients
+        self.think_time = think_time
+        self.retries = retries
+        self.retry_delay = retry_delay
+        self.home_sites = list(home_sites) if home_sites is not None else list(
+            system.cluster.site_ids
+        )
+        self.stats = ClientStats()
+        self._procs: list[Process] = []
+        self._stopping = False
+
+    def start(self, duration: float) -> list[Process]:
+        """Launch the clients; each stops after ``duration`` virtual time."""
+        deadline = self.system.kernel.now + duration
+        for index in range(self.n_clients):
+            home = self.home_sites[index % len(self.home_sites)]
+            proc = self.system.kernel.process(
+                self._client_loop(home, deadline), name=f"client{index}@{home}"
+            )
+            proc.defuse()
+            self._procs.append(proc)
+        return self._procs
+
+    def _client_loop(self, home: int, deadline: float) -> typing.Generator:
+        kernel = self.system.kernel
+        while kernel.now < deadline:
+            program = self.generator.next_program()
+            start = kernel.now
+            self.stats.attempted += 1
+            outcome = yield from self._attempt(home, program)
+            if outcome == "committed":
+                self.stats.committed += 1
+                self.stats.latencies.append(kernel.now - start)
+            elif outcome == "refused":
+                self.stats.refused += 1
+            else:
+                self.stats.aborted += 1
+            if self.think_time > 0:
+                yield kernel.timeout(self.think_time)
+
+    def _attempt(self, home: int, program) -> typing.Generator:  # noqa: C901 - state machine
+        kernel = self.system.kernel
+        for attempt in range(1 + self.retries):
+            site = self.system.cluster.site(home)
+            if not site.is_operational:
+                return "refused"
+            # Submit through the site so a crash interrupts the attempt
+            # (instead of stranding this client on a dead RPC future).
+            proc = self.system.tms[home].submit(program)
+            try:
+                yield proc
+                return "committed"
+            except NotOperational:
+                return "refused"
+            except Interrupt:
+                return "refused"  # home site crashed mid-transaction
+            except TransactionAborted:
+                if attempt < self.retries:
+                    yield kernel.timeout(self.retry_delay)
+        return "aborted"
+
+
+class OpenLoopClient:
+    """Open-loop driver: Poisson arrivals, independent of completions.
+
+    Unlike :class:`ClientPool` (closed loop: each client waits for its
+    transaction before thinking), an open-loop source keeps injecting at
+    the offered rate even when the system is slow — the right model for
+    measuring behaviour *under* overload or during outages, where a
+    closed loop would self-throttle and hide the backlog.
+    """
+
+    def __init__(
+        self,
+        system: "DatabaseSystem",
+        generator: WorkloadGenerator,
+        rate: float,
+        home_sites: typing.Sequence[int] | None = None,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"arrival rate must be positive, got {rate}")
+        self.system = system
+        self.generator = generator
+        self.rate = rate
+        self.home_sites = list(home_sites) if home_sites is not None else list(
+            system.cluster.site_ids
+        )
+        self.stats = ClientStats()
+        self._rng = system.kernel.rng.stream("openloop")
+
+    def start(self, duration: float) -> Process:
+        """Inject transactions until ``duration`` elapses."""
+        proc = self.system.kernel.process(self._arrivals(duration), name="open-loop")
+        proc.defuse()
+        return proc
+
+    def _arrivals(self, duration: float) -> typing.Generator:
+        kernel = self.system.kernel
+        deadline = kernel.now + duration
+        index = 0
+        while True:
+            gap = self._rng.expovariate(self.rate)
+            if kernel.now + gap > deadline:
+                return
+            yield kernel.timeout(gap)
+            home = self.home_sites[index % len(self.home_sites)]
+            index += 1
+            self.stats.attempted += 1
+            site = self.system.cluster.site(home)
+            if not site.is_operational:
+                self.stats.refused += 1
+                continue
+            start = kernel.now
+            proc = self.system.tms[home].submit(self.generator.next_program())
+            proc.add_callback(lambda ev, s=start: self._finished(ev, s))
+
+    def _finished(self, event, start: float) -> None:
+        if event.ok:
+            self.stats.committed += 1
+            self.stats.latencies.append(self.system.kernel.now - start)
+        else:
+            exc = event.exception
+            if isinstance(exc, (NotOperational, Interrupt)):
+                self.stats.refused += 1
+            else:
+                self.stats.aborted += 1

@@ -1,0 +1,148 @@
+"""Crash/recover schedules and their application to a running system."""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import typing
+
+from repro.sim.process import Process
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.system import DatabaseSystem
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class FailureEvent:
+    """One scheduled action: crash or power a site (back) on."""
+
+    time: float
+    action: typing.Literal["crash", "power_on"]
+    site_id: int
+
+
+class FailureSchedule:
+    """An ordered list of failure events plus constructors and an applier."""
+
+    def __init__(self, events: typing.Iterable[FailureEvent]) -> None:
+        self.events = sorted(events, key=lambda event: event.time)
+        self.last_skipped: list[FailureEvent] = []
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> typing.Iterator[FailureEvent]:
+        return iter(self.events)
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def single_outage(
+        cls, site_id: int, crash_at: float, downtime: float
+    ) -> "FailureSchedule":
+        return cls(
+            [
+                FailureEvent(crash_at, "crash", site_id),
+                FailureEvent(crash_at + downtime, "power_on", site_id),
+            ]
+        )
+
+    @classmethod
+    def periodic(
+        cls,
+        site_id: int,
+        first_crash: float,
+        period: float,
+        downtime: float,
+        horizon: float,
+    ) -> "FailureSchedule":
+        """Crash every ``period``, stay down ``downtime``, until horizon."""
+        if downtime >= period:
+            raise ValueError("downtime must be shorter than the period")
+        events = []
+        time = first_crash
+        while time < horizon:
+            events.append(FailureEvent(time, "crash", site_id))
+            events.append(FailureEvent(time + downtime, "power_on", site_id))
+            time += period
+        return cls(events)
+
+    @classmethod
+    def random_failures(
+        cls,
+        site_ids: typing.Sequence[int],
+        rng: random.Random,
+        horizon: float,
+        mtbf: float,
+        mttr: float,
+        min_up_sites: int = 1,
+    ) -> "FailureSchedule":
+        """Exponential times-to-failure and times-to-repair per site.
+
+        Guarantees (by construction, tracking scheduled state) that at
+        least ``min_up_sites`` sites are up at any instant — the paper's
+        algorithm requires one operational site for recovery, and total
+        failure needs the out-of-band cold start.
+        """
+        events: list[FailureEvent] = []
+        next_action: list[tuple[float, str, int]] = [
+            (rng.expovariate(1.0 / mtbf), "crash", site_id) for site_id in site_ids
+        ]
+        up = {site_id: True for site_id in site_ids}
+        while next_action:
+            next_action.sort()
+            time, action, site_id = next_action.pop(0)
+            if time >= horizon:
+                break
+            if action == "crash":
+                if sum(up.values()) <= min_up_sites:
+                    # Postpone this crash until someone recovers.
+                    next_action.append((time + mttr, "crash", site_id))
+                    continue
+                up[site_id] = False
+                events.append(FailureEvent(time, "crash", site_id))
+                next_action.append((time + rng.expovariate(1.0 / mttr), "power_on", site_id))
+            else:
+                up[site_id] = True
+                events.append(FailureEvent(time, "power_on", site_id))
+                next_action.append((time + rng.expovariate(1.0 / mtbf), "crash", site_id))
+        return cls(events)
+
+    # -- application -----------------------------------------------------------------
+
+    def apply(self, system: "DatabaseSystem", min_operational: int = 1) -> Process:
+        """Drive the schedule against ``system`` as a background process.
+
+        ``min_operational`` is a runtime guard: a crash that would leave
+        fewer than this many *operational* sites is skipped. The static
+        ``min_up_sites`` guarantee of :meth:`random_failures` counts
+        powered sites, but a powered site may still be mid-recovery —
+        and total operational failure is unrecoverable without the
+        out-of-band cold start, which experiments don't want to trip by
+        accident. Skipped events are collected on ``self.last_skipped``.
+        """
+        skipped: list[FailureEvent] = []
+        self.last_skipped = skipped
+
+        def driver():
+            for event in self.events:
+                delay = event.time - system.kernel.now
+                if delay > 0:
+                    yield system.kernel.timeout(delay)
+                site = system.cluster.site(event.site_id)
+                if event.action == "crash":
+                    if site.is_down:
+                        continue
+                    operational = system.cluster.operational_sites()
+                    if (
+                        site.is_operational
+                        and len(operational) <= min_operational
+                    ):
+                        skipped.append(event)
+                        continue
+                    system.crash(event.site_id)
+                else:
+                    if site.is_down:
+                        system.power_on(event.site_id)
+
+        return system.kernel.process(driver(), name="failure-schedule")

@@ -1,0 +1,60 @@
+"""Direct unit tests for the SpoolTracker."""
+
+import pytest
+
+from repro.baselines.spooler import SpoolTracker
+from repro.net import ConstantLatency, Network
+from repro.sim import Kernel
+from repro.site import Site
+from repro.storage.copies import Version
+
+
+@pytest.fixture
+def tracker():
+    kernel = Kernel(seed=1)
+    network = Network(kernel, latency=ConstantLatency(1.0))
+    site = Site(kernel, network, 1)
+    return SpoolTracker(site)
+
+
+def v(ts, commit):
+    return Version(ts, commit, commit)
+
+
+class TestSpoolTracker:
+    def test_spools_for_missed_sites(self, tracker):
+        tracker.on_commit_write("X", (1, 2), (3,), value=5, version=v(1.0, 1))
+        assert tracker.spooled_for(3) == {"X": (5, v(1.0, 1))}
+        assert tracker.spooled_for(2) == {}
+
+    def test_keeps_newest_version_only(self, tracker):
+        tracker.on_commit_write("X", (1,), (3,), value=5, version=v(1.0, 1))
+        tracker.on_commit_write("X", (1,), (3,), value=9, version=v(2.0, 2))
+        tracker.on_commit_write("X", (1,), (3,), value=1, version=v(1.5, 3))
+        assert tracker.spooled_for(3)["X"] == (9, v(2.0, 2))
+
+    def test_applied_site_entry_removed(self, tracker):
+        tracker.on_commit_write("X", (1,), (3,), value=5, version=v(1.0, 1))
+        # A later write reaches site 3: its spooled entry is obsolete.
+        tracker.on_commit_write("X", (1, 3), (), value=6, version=v(2.0, 2))
+        assert tracker.spooled_for(3) == {}
+
+    def test_clear_drops_only_target_site(self, tracker):
+        tracker.on_commit_write("X", (1,), (2, 3), value=5, version=v(1.0, 1))
+        tracker._handle_clear(3, src=2)
+        assert tracker.spooled_for(3) == {}
+        assert tracker.spooled_for(2) != {}
+
+    def test_spool_survives_crash(self, tracker):
+        """The spool is stable storage: multi-spooler reliability."""
+        site = tracker.site
+        site.power_on()
+        tracker.on_commit_write("X", (1,), (3,), value=5, version=v(1.0, 1))
+        site.crash()
+        assert tracker.spooled_for(3) == {"X": (5, v(1.0, 1))}
+
+    def test_collect_handler_returns_copy(self, tracker):
+        tracker.on_commit_write("X", (1,), (3,), value=5, version=v(1.0, 1))
+        reply = tracker._handle_collect(3, src=3)
+        reply["X"] = "mutated"
+        assert tracker.spooled_for(3)["X"] == (5, v(1.0, 1))

@@ -1,0 +1,53 @@
+"""Shared fixtures for core-protocol tests."""
+
+import pytest
+
+from repro.core import RowaaConfig, RowaaSystem
+from repro.net import ConstantLatency
+from repro.sim import Kernel
+from repro.txn import TxnConfig
+
+
+def build_system(
+    seed=1,
+    n_sites=3,
+    items=None,
+    detection_delay=5.0,
+    rowaa_config=None,
+    txn_config=None,
+    catalog=None,
+):
+    """A booted 3-site fully replicated system with deterministic latency."""
+    kernel = Kernel(seed=seed)
+    system = RowaaSystem(
+        kernel,
+        n_sites=n_sites,
+        items=items if items is not None else {"X": 0, "Y": 0},
+        catalog=catalog,
+        latency=ConstantLatency(1.0),
+        detection_delay=detection_delay,
+        rowaa_config=rowaa_config if rowaa_config is not None else RowaaConfig(),
+        config=txn_config if txn_config is not None else TxnConfig(rpc_timeout=30.0),
+    )
+    system.boot()
+    return kernel, system
+
+
+@pytest.fixture
+def rig():
+    return build_system()
+
+
+def write_program(item, value):
+    def program(ctx):
+        yield from ctx.write(item, value)
+
+    return program
+
+
+def read_program(item):
+    def program(ctx):
+        result = yield from ctx.read(item)
+        return result
+
+    return program

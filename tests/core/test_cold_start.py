@@ -1,0 +1,76 @@
+"""Tests for the total-failure cold-start path (DESIGN.md §2/§6)."""
+
+import pytest
+
+from repro.errors import InvalidStateTransition
+from repro.site import SiteStatus
+from tests.core.conftest import build_system, read_program, write_program
+
+
+def total_failure(kernel, system):
+    """Crash everything (last survivor last)."""
+    for site_id in (3, 2, 1):
+        system.crash(site_id)
+        kernel.run(until=kernel.now + 10)
+
+
+class TestColdStart:
+    def test_rejected_while_any_site_operational(self, rig):
+        kernel, system = rig
+        system.crash(3)
+        with pytest.raises(InvalidStateTransition):
+            system.cold_start(3)
+
+    def test_bootstraps_the_chosen_site(self, rig):
+        kernel, system = rig
+        kernel.run(system.submit(1, write_program("X", 7)))
+        total_failure(kernel, system)
+        assert system.cluster.operational_sites() == []
+        system.cold_start(1)
+        assert system.cluster.site(1).is_operational
+        assert system.sessions[1].current > 1
+        assert system.nominal_view(1)[2] == 0
+        assert system.nominal_view(1)[3] == 0
+        # The trusted site serves immediately.
+        assert kernel.run(system.submit(1, read_program("X"))) == 7
+
+    def test_other_sites_rejoin_normally(self, rig):
+        kernel, system = rig
+        kernel.run(system.submit(1, write_program("X", 7)))
+        total_failure(kernel, system)
+        system.cold_start(1)
+        record = kernel.run(system.power_on(2))
+        assert record.succeeded
+        kernel.run(until=kernel.now + 200)
+        assert system.copy_value(2, "X") == 7
+        assert system.unreadable_counts()[2] == 0
+
+    def test_wrong_choice_loses_newer_data(self, rig):
+        """Documented hazard: cold-starting a stale site discards the
+        newer committed state at still-down sites."""
+        kernel, system = rig
+        system.crash(3)  # site 3 goes down FIRST...
+        kernel.run(until=kernel.now + 40)
+        kernel.run(system.submit(1, write_program("X", 99)))  # ...misses this
+        system.crash(2)
+        kernel.run(until=kernel.now + 10)
+        system.crash(1)
+        kernel.run(until=kernel.now + 10)
+        system.cold_start(3)  # operator picks the STALE site
+        assert kernel.run(system.submit(3, read_program("X"))) == 0  # 99 is gone
+        record = kernel.run(system.power_on(1))
+        assert record.succeeded
+        kernel.run(until=kernel.now + 300)
+        # Site 1's newer copy was overwritten back to the trusted state?
+        # No — versions protect it: the copier compares versions and the
+        # *newer* stable version at site 1 survives as a version-skip...
+        # but reads route by availability, so the authoritative answer
+        # is what the system now serves:
+        value = kernel.run(system.submit(1, read_program("X")))
+        assert value in (0, 99)  # implementation-defined post-coldstart
+
+    def test_cold_start_powers_a_down_site(self, rig):
+        kernel, system = rig
+        total_failure(kernel, system)
+        system.cold_start(2)
+        assert system.cluster.site(2).status is SiteStatus.UP

@@ -1,0 +1,101 @@
+"""Tests for control transactions (§3.3)."""
+
+from repro.core.nominal import ns_item
+from tests.core.conftest import build_system, write_program
+
+
+class TestType2:
+    def test_crash_triggers_type2_exclusion(self, rig):
+        kernel, system = rig
+        system.crash(3)
+        kernel.run(until=40)
+        # Every surviving site's nominal view now shows site 3 down.
+        assert system.nominal_view(1)[3] == 0
+        assert system.nominal_view(2)[3] == 0
+        committed = sum(system.controls[s].type2_committed for s in (1, 2))
+        assert committed >= 1
+
+    def test_type2_is_idempotent_across_initiators(self, rig):
+        """Both survivors race to exclude; the outcome is a single clean 0."""
+        kernel, system = rig
+        system.crash(3)
+        kernel.run(until=100)
+        assert system.nominal_view(1) == {1: 1, 2: 1, 3: 0}
+        assert system.nominal_view(2) == {1: 1, 2: 1, 3: 0}
+
+    def test_down_site_own_copy_not_written(self, rig):
+        """Type 2 writes only *available* copies; the dead site's own copy
+        keeps its last value and is refreshed by its type 1 at recovery."""
+        kernel, system = rig
+        system.crash(3)
+        kernel.run(until=40)
+        assert system.copy_value(3, ns_item(3)) == 1  # untouched stale copy
+
+    def test_multiple_crashes_both_excluded(self):
+        kernel, system = build_system(n_sites=4, detection_delay=2.0)
+        system.crash(3)
+        system.crash(4)
+        kernel.run(until=100)
+        view = system.nominal_view(1)
+        assert view[3] == 0 and view[4] == 0
+        assert view[1] == 1 and view[2] == 1
+
+    def test_stale_incarnation_claim_is_skipped(self):
+        """A type-2 claim bound to an old incarnation must not delist the
+        recovered site (the Theorem-3 soundness race)."""
+        from repro.core.control import make_type2_program
+        from repro.txn.transaction import TxnKind
+
+        kernel, system = build_system(detection_delay=2.0)
+        system.crash(3)
+        kernel.run(until=20)
+        kernel.run(system.power_on(3))
+        session_now = system.sessions[3].current
+        assert session_now > 1
+        # Forge a late type-2 still claiming incarnation 1.
+        program = make_type2_program(system.catalog.site_ids, {3: 1}, 1)
+        claimed = kernel.run(system.tms[1].submit(program, kind=TxnKind.CONTROL))
+        assert claimed == set()
+        assert system.nominal_view(1)[3] == session_now
+
+
+class TestType1:
+    def test_type1_announces_new_session_everywhere_up(self, rig):
+        kernel, system = rig
+        system.crash(3)
+        kernel.run(until=40)
+        record = kernel.run(system.power_on(3))
+        assert record.succeeded
+        session = record.session_number
+        assert system.nominal_view(1)[3] == session
+        assert system.nominal_view(2)[3] == session
+        assert system.nominal_view(3)[3] == session
+
+    def test_type1_refreshes_recovering_sites_vector(self, rig):
+        """While 3 was down, site 2 also crashed; 3's type 1 must import
+        the truth (2 down) from the operational site's vector."""
+        kernel, system = rig
+        system.crash(3)
+        kernel.run(until=30)
+        system.crash(2)
+        kernel.run(until=60)  # type 2 for site 2 commits at site 1
+        assert system.nominal_view(1)[2] == 0
+        record = kernel.run(system.power_on(3))
+        assert record.succeeded
+        view3 = system.nominal_view(3)
+        assert view3[2] == 0  # imported
+        assert view3[1] == 1
+        assert view3[3] == record.session_number
+
+    def test_user_txns_refused_until_type1_commits(self, rig):
+        kernel, system = rig
+        system.crash(3)
+        kernel.run(until=40)
+        system.cluster.power_on_site(3)  # power, but do NOT run recovery
+        proc = system.submit(3, write_program("X", 1))
+        import pytest
+
+        from repro.errors import NotOperational
+
+        with pytest.raises(NotOperational):
+            kernel.run(proc)

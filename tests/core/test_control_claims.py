@@ -1,0 +1,87 @@
+"""Regression tests for type-2 claim binding (DESIGN.md §6.1).
+
+The randomized soak exposed a race where piggybacked claims captured
+the *current* local NS value instead of the detection-time incarnation;
+in the window between a peer's type-1 commit-apply and its recovery
+announcement, that value is the NEW session and the claim would delist
+a live site. These tests pin the corrected behaviour at the unit level.
+"""
+
+from repro.core.control import make_type2_program
+from repro.core.nominal import ns_item
+from repro.txn.transaction import TxnKind
+from tests.core.conftest import build_system
+
+
+class TestClaimBinding:
+    def test_claim_bound_to_old_incarnation_is_skipped(self, rig):
+        """The vector shows session 2 but the claim says incarnation 1:
+        the transaction must not write 0."""
+        kernel, system = rig
+        # Simulate site 3 already announced session 2 everywhere.
+        for site_id in (1, 2, 3):
+            system.cluster.site(site_id).copies.get(ns_item(3)).value = 2
+        program = make_type2_program(system.catalog.site_ids, {3: 1}, 1)
+        claimed = kernel.run(system.tms[1].submit(program, kind=TxnKind.CONTROL))
+        assert claimed == set()
+        assert system.copy_value(1, ns_item(3)) == 2
+
+    def test_claim_matching_incarnation_excludes(self, rig):
+        kernel, system = rig
+        system.crash(3)
+        program = make_type2_program(system.catalog.site_ids, {3: 1}, 1)
+        claimed = kernel.run(system.tms[1].submit(program, kind=TxnKind.CONTROL))
+        assert claimed == {3}
+        assert system.copy_value(1, ns_item(3)) == 0
+        assert system.copy_value(2, ns_item(3)) == 0
+
+    def test_zero_expected_claims_any_incarnation(self, rig):
+        """expected_session=0 means 'whatever is there' — used only by
+        callers that have no incarnation information; still guarded by
+        the already-zero check."""
+        kernel, system = rig
+        system.crash(3)
+        program = make_type2_program(system.catalog.site_ids, {3: 0}, 1)
+        claimed = kernel.run(system.tms[1].submit(program, kind=TxnKind.CONTROL))
+        assert claimed == {3}
+
+    def test_service_suspected_map_binds_detection_time_value(self, rig):
+        """The ControlService records the incarnation when the detector
+        fires, and later retries keep using that value even if the local
+        copy has moved on."""
+        kernel, system = rig
+        service = system.controls[1]
+        system.crash(3)
+        kernel.run(until=6)  # detection at 5
+        assert service._suspected.get(3) == 1
+        # The exclusion already committed by now (value 0) or is in
+        # flight; simulate the dangerous window by bumping the local
+        # copy to a new session and confirm the stored binding is stale
+        # (as it must be), not refreshed.
+        system.cluster.site(1).copies.get(ns_item(3)).value = 2
+        assert service._suspected.get(3, 1) == 1
+
+    def test_suspected_cleared_on_crash(self, rig):
+        kernel, system = rig
+        service = system.controls[1]
+        system.crash(3)
+        kernel.run(until=6)
+        assert 3 in service._suspected
+        system.crash(1)
+        assert service._suspected == {}
+
+
+class TestExclusionEndToEnd:
+    def test_exclusion_never_delists_recovered_incarnation(self, rig):
+        """Crash, recover quickly, and let stale exclusion attempts race:
+        the nominal view must end at the NEW session, not 0."""
+        kernel, system = rig
+        system.crash(3)
+        kernel.run(until=kernel.now + 6)  # detection fired, exclusion racing
+        record = kernel.run(system.power_on(3))
+        assert record.succeeded
+        kernel.run(until=kernel.now + 300)  # all retries drain
+        system.stop()
+        kernel.run(until=kernel.now + 10)
+        for observer in (1, 2, 3):
+            assert system.nominal_view(observer)[3] == record.session_number

@@ -1,0 +1,82 @@
+"""Deterministic regression for the identification delta pass
+(DESIGN.md §6.5).
+
+A write that commits *between* the recovery's collection pass and the
+type-1 commit records a miss the collection never saw. Without the
+post-announcement delta pass, the recovering site would serve a
+stale-but-readable copy (first caught as replica divergence in the
+8-site rolling-outage test). Here the window is forced open
+deterministically by stalling the collection.
+"""
+
+import pytest
+
+from repro.core import RowaaConfig
+from tests.core.conftest import build_system, read_program, write_program
+
+
+class _StallingPolicy:
+    """Wraps an identification policy: after collecting, hold the
+    recovery for a while so a racing write can commit in the window."""
+
+    def __init__(self, inner, kernel, stall, on_window=None):
+        self._inner = inner
+        self._kernel = kernel
+        self._stall = stall
+        self._on_window = on_window
+        self._stalled_once = False
+        self.name = inner.name
+        self.needs_post_announce_pass = inner.needs_post_announce_pass
+
+    def on_commit_write(self, *args, **kwargs):
+        return self._inner.on_commit_write(*args, **kwargs)
+
+    def collect_stale(self, manager):
+        items = yield from self._inner.collect_stale(manager)
+        if not self._stalled_once:
+            self._stalled_once = True
+            if self._on_window is not None:
+                self._on_window()
+            yield self._kernel.timeout(self._stall)
+        return items
+
+    def after_marked(self, manager, items):
+        return self._inner.after_marked(manager, items)
+
+
+@pytest.mark.parametrize("mode", ["fail-locks", "missing-lists"])
+def test_write_in_collection_window_is_still_marked(mode):
+    config = RowaaConfig(identify_mode=mode, copier_mode="eager")
+    kernel, system = build_system(
+        items={"A": 0, "B": 0}, rowaa_config=config, seed=121
+    )
+    system.crash(3)
+    kernel.run(until=kernel.now + 40)
+    kernel.run(system.submit(1, write_program("A", 1)))  # pre-collection miss
+
+    fired = []
+
+    def racing_write():
+        # Launched exactly when the collection pass has finished.
+        proc = system.submit_with_retry(1, write_program("B", 2), attempts=5)
+        fired.append(proc)
+
+    manager = system.recoveries[3]
+    manager.identify = _StallingPolicy(
+        manager.identify, kernel, stall=40.0, on_window=racing_write
+    )
+    record = kernel.run(system.power_on(3))
+    assert record.succeeded
+    assert fired and fired[0].processed  # the racing write committed
+    # Both the pre-collection miss AND the in-window miss were marked
+    # (B only via the delta pass).
+    assert record.marked_items == 2
+    kernel.run(until=kernel.now + 300)
+    system.stop()
+    kernel.run(until=kernel.now + 10)
+    # And the recovered site converged on both items.
+    assert system.copy_value(3, "A") == 1
+    assert system.copy_value(3, "B") == 2
+    assert kernel.run(
+        system.submit_with_retry(3, read_program("B"), attempts=5)
+    ) == 2

@@ -1,0 +1,78 @@
+"""End-to-end runs under non-constant latency models.
+
+Everything else in the suite uses ConstantLatency for determinism of
+*expected values*; these tests exercise the protocol under jittered and
+heavy-tailed delays — timeouts, detection, recovery and copiers must
+still converge (determinism per seed is preserved: the models draw from
+the kernel's seeded streams).
+"""
+
+import pytest
+
+from repro.core import RowaaSystem
+from repro.core.nominal import db_item_filter
+from repro.histories import check_one_sr
+from repro.net import ExponentialLatency, UniformLatency
+from repro.sim import Kernel
+from repro.txn import TxnConfig
+
+
+def run_cycle(latency, seed):
+    kernel = Kernel(seed=seed)
+    system = RowaaSystem(
+        kernel,
+        n_sites=3,
+        items={"X": 0, "Y": 0},
+        latency=latency,
+        detection_delay=8.0,
+        config=TxnConfig(rpc_timeout=40.0),
+    )
+    system.boot()
+
+    def increment(ctx):
+        value = yield from ctx.read("X")
+        yield from ctx.write("X", value + 1)
+
+    for site in (1, 2, 1):
+        kernel.run(system.submit_with_retry(site, increment, attempts=5))
+    system.crash(3)
+    kernel.run(until=kernel.now + 80)
+    kernel.run(system.submit_with_retry(1, increment, attempts=5))
+    record = kernel.run(system.power_on(3))
+    kernel.run(until=kernel.now + 500)
+    system.stop()
+    kernel.run(until=kernel.now + 10)
+    return kernel, system, record
+
+
+@pytest.mark.parametrize(
+    "latency",
+    [
+        UniformLatency(0.5, 3.0),
+        ExponentialLatency(floor=0.2, mean=1.5),
+    ],
+    ids=["uniform", "exponential"],
+)
+class TestJitteredLatency:
+    def test_full_cycle_converges(self, latency):
+        kernel, system, record = run_cycle(latency, seed=17)
+        assert record.succeeded
+        for site in (1, 2, 3):
+            assert system.copy_value(site, "X") == 4
+        assert system.unreadable_counts()[3] == 0
+
+    def test_history_one_serializable(self, latency):
+        _kernel, system, _record = run_cycle(latency, seed=18)
+        verdict = check_one_sr(system.recorder, item_filter=db_item_filter)
+        assert verdict.ok, verdict
+
+    def test_deterministic_per_seed(self, latency):
+        def fingerprint(seed):
+            kernel, system, record = run_cycle(latency, seed=seed)
+            return (
+                kernel.now,
+                record.operational_at,
+                len(system.recorder.ops),
+            )
+
+        assert fingerprint(29) == fingerprint(29)

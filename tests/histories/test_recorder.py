@@ -1,0 +1,52 @@
+"""Unit tests for history recording."""
+
+import pytest
+
+from repro.histories import HistoryRecorder, OpType
+from repro.histories.recorder import INITIAL_TXN
+
+
+@pytest.fixture
+def recorder():
+    return HistoryRecorder()
+
+
+def test_ops_keep_global_order(recorder):
+    recorder.record_read(1.0, "T1@1", 1, "user", "X", 1, 0)
+    recorder.record_write(2.0, "T1@1", 1, "user", "X", 1, 1)
+    recorder.record_write(2.0, "T1@1", 1, "user", "X", 2, 1)
+    assert [op.index for op in recorder.ops] == [0, 1, 2]
+    assert recorder.ops[0].op is OpType.READ
+
+
+def test_committed_ops_filter(recorder):
+    recorder.record_write(1.0, "T1@1", 1, "user", "X", 1, 1)
+    recorder.record_write(2.0, "T2@1", 2, "user", "X", 1, 2)
+    recorder.mark_committed("T1@1")
+    recorder.mark_aborted("T2@1")
+    assert [op.txn_id for op in recorder.committed_ops()] == ["T1@1"]
+
+
+def test_writer_of_seq_original_writes(recorder):
+    recorder.record_write(1.0, "T5@2", 5, "user", "X", 2, 5)
+    assert recorder.writer_of_seq(5) == "T5@2"
+    assert recorder.writer_of_seq(0) == INITIAL_TXN
+
+
+def test_copier_write_does_not_claim_provenance(recorder):
+    recorder.record_write(1.0, "T5@2", 5, "user", "X", 2, 5)
+    # Copier P9 copies version 5 to site 3.
+    recorder.record_write(2.0, "P9@3", 9, "copier", "X", 3, 5)
+    assert recorder.writer_of_seq(5) == "T5@2"
+    with pytest.raises(KeyError):
+        recorder.writer_of_seq(9)  # the copier wrote nothing original
+
+
+def test_unknown_version_raises(recorder):
+    with pytest.raises(KeyError):
+        recorder.writer_of_seq(42)
+
+
+def test_kinds_tracked(recorder):
+    recorder.record_write(1.0, "C3@1", 3, "control", "NS[2]", 1, 3)
+    assert recorder.kinds["C3@1"] == "control"

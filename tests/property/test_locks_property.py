@@ -1,0 +1,101 @@
+"""Property-based tests for the lock manager.
+
+A random sequence of acquire/release operations is executed; after each
+step the core safety invariants must hold:
+
+* never two incompatible holders on one item;
+* a granted upgrade leaves exactly one holder;
+* a request is granted iff compatible (no lost wakeups at quiescence);
+* release_all leaves no trace of the transaction.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.sim import Kernel
+from repro.txn import LockManager, LockMode
+
+TXNS = [f"T{i}@1" for i in range(1, 6)]
+ITEMS = ["A", "B", "C"]
+
+
+def lock_ops():
+    acquire = st.tuples(
+        st.just("acquire"),
+        st.sampled_from(TXNS),
+        st.sampled_from(ITEMS),
+        st.sampled_from([LockMode.S, LockMode.X]),
+    )
+    release = st.tuples(
+        st.just("release"), st.sampled_from(TXNS), st.none(), st.none()
+    )
+    return st.lists(st.one_of(acquire, release), min_size=1, max_size=40)
+
+
+def check_invariants(manager: LockManager) -> None:
+    for item, state in manager._table.items():
+        modes = list(state.holders.values())
+        if LockMode.X in modes:
+            assert len(modes) == 1, f"X lock shared on {item}: {state.holders}"
+        # No queued request is compatible with the holders while also
+        # being at the head of the queue (it should have been granted).
+        if state.queue:
+            head = state.queue[0]
+            compatible = all(
+                holder == head.txn_id or head.mode.compatible(mode)
+                for holder, mode in state.holders.items()
+            )
+            assert not compatible or state.holders, (
+                f"head of queue for {item} should have been granted"
+            )
+
+
+@given(ops=lock_ops())
+@settings(max_examples=200, deadline=None)
+def test_lock_safety_invariants(ops):
+    kernel = Kernel(seed=0)
+    manager = LockManager(kernel, site_id=1)
+    for op, txn, item, mode in ops:
+        if op == "acquire":
+            manager.acquire(txn, item, mode).defuse()
+        else:
+            manager.release_all(txn)
+        kernel.run()
+        check_invariants(manager)
+
+
+@given(ops=lock_ops())
+@settings(max_examples=200, deadline=None)
+def test_release_all_txns_leaves_table_empty(ops):
+    kernel = Kernel(seed=0)
+    manager = LockManager(kernel, site_id=1)
+    for op, txn, item, mode in ops:
+        if op == "acquire":
+            manager.acquire(txn, item, mode).defuse()
+        else:
+            manager.release_all(txn)
+        kernel.run()
+    for txn in TXNS:
+        manager.kill_waiter(txn)
+        manager.release_all(txn)
+    kernel.run()
+    for state in manager._table.values():
+        assert not state.holders
+        assert not state.queue
+
+
+@given(
+    readers=st.integers(min_value=1, max_value=5),
+    items=st.sampled_from(ITEMS),
+)
+@settings(max_examples=50, deadline=None)
+def test_shared_batch_grants_together(readers, items):
+    kernel = Kernel(seed=0)
+    manager = LockManager(kernel, site_id=1)
+    manager.acquire("T9@1", items, LockMode.X)
+    futures = [
+        manager.acquire(f"T{i}@1", items, LockMode.S) for i in range(1, readers + 1)
+    ]
+    manager.release_all("T9@1")
+    kernel.run()
+    assert all(future.ok for future in futures)

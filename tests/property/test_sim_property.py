@@ -1,0 +1,94 @@
+"""Property-based tests for the simulation substrate and versions."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.sim import Kernel
+from repro.storage import Version
+
+
+class TestEventOrdering:
+    @given(delays=st.lists(st.floats(min_value=0, max_value=1000,
+                                     allow_nan=False), min_size=1, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_timeouts_fire_in_time_order(self, delays):
+        kernel = Kernel(seed=0)
+        fired = []
+        for delay in delays:
+            kernel.timeout(delay).add_callback(
+                lambda _ev, d=delay: fired.append((kernel.now, d))
+            )
+        kernel.run()
+        times = [time for time, _delay in fired]
+        assert times == sorted(times)
+        assert all(time == delay for time, delay in fired)
+
+    @given(n=st.integers(min_value=1, max_value=20))
+    @settings(max_examples=50, deadline=None)
+    def test_same_time_events_fifo(self, n):
+        kernel = Kernel(seed=0)
+        fired = []
+        for index in range(n):
+            kernel.timeout(5.0).add_callback(lambda _ev, i=index: fired.append(i))
+        kernel.run()
+        assert fired == list(range(n))
+
+
+class TestVersionOrdering:
+    versions = st.tuples(
+        st.floats(min_value=0, max_value=1e6, allow_nan=False),
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=0, max_value=10**6),
+    ).map(lambda t: Version(*t))
+
+    @given(a=versions, b=versions)
+    @settings(max_examples=200, deadline=None)
+    def test_total_order(self, a, b):
+        assert (a < b) or (b < a) or (a == b)
+
+    @given(a=versions, b=versions, c=versions)
+    @settings(max_examples=200, deadline=None)
+    def test_transitive(self, a, b, c):
+        if a < b and b < c:
+            assert a < c
+
+    @given(a=versions)
+    @settings(max_examples=50, deadline=None)
+    def test_initial_is_minimum(self, a):
+        assert Version.initial() <= a
+
+
+class TestDeterminism:
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_full_system_run_is_reproducible(self, seed):
+        """Same seed → bit-identical history (op list) across two runs."""
+        def run_once():
+            from repro.core import RowaaSystem
+            from repro.net import ConstantLatency
+
+            kernel = Kernel(seed=seed)
+            system = RowaaSystem(
+                kernel, n_sites=3, items={"X": 0, "Y": 0},
+                latency=ConstantLatency(1.0),
+            )
+            system.boot()
+
+            def mixed(ctx):
+                x = yield from ctx.read("X")
+                yield from ctx.write("Y", x)
+
+            for site in (1, 2, 3, 1):
+                system.submit(site, mixed)
+            system.crash(3)
+            kernel.run(until=40)
+            system.power_on(3)
+            kernel.run(until=200)
+            system.stop()
+            kernel.run(until=210)
+            return [
+                (op.time, op.txn_id, op.op.value, op.item, op.site, op.version_seq)
+                for op in system.recorder.ops
+            ]
+
+        assert run_once() == run_once()

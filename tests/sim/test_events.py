@@ -1,0 +1,180 @@
+"""Unit tests for futures, timeouts, and composite events."""
+
+import pytest
+
+from repro.errors import SimError, UnhandledFailure
+from repro.sim import AllOf, AnyOf, Future, Kernel
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(seed=1)
+
+
+class TestFuture:
+    def test_starts_pending(self, kernel):
+        fut = kernel.event("f")
+        assert not fut.triggered
+        assert not fut.processed
+
+    def test_succeed_carries_value(self, kernel):
+        fut = kernel.event()
+        fut.succeed(42)
+        kernel.run()
+        assert fut.processed
+        assert fut.ok
+        assert fut.value == 42
+
+    def test_fail_carries_exception(self, kernel):
+        fut = kernel.event()
+        seen = []
+        fut.add_callback(lambda f: seen.append(f.exception))
+        fut.fail(ValueError("boom"))
+        kernel.run()
+        assert not fut.ok
+        assert isinstance(seen[0], ValueError)
+
+    def test_value_raises_failure_exception(self, kernel):
+        fut = kernel.event()
+        fut.add_callback(lambda f: None)
+        fut.fail(KeyError("x"))
+        kernel.run()
+        with pytest.raises(KeyError):
+            _ = fut.value
+
+    def test_value_before_trigger_raises(self, kernel):
+        fut = kernel.event()
+        with pytest.raises(SimError):
+            _ = fut.value
+
+    def test_double_trigger_rejected(self, kernel):
+        fut = kernel.event()
+        fut.succeed(1)
+        with pytest.raises(SimError):
+            fut.succeed(2)
+        with pytest.raises(SimError):
+            fut.fail(ValueError())
+
+    def test_fail_requires_exception_instance(self, kernel):
+        fut = kernel.event()
+        with pytest.raises(TypeError):
+            fut.fail("not an exception")  # type: ignore[arg-type]
+
+    def test_callback_after_processed_still_runs(self, kernel):
+        fut = kernel.event()
+        fut.succeed("late")
+        kernel.run()
+        seen = []
+        fut.add_callback(lambda f: seen.append(f.value))
+        kernel.run()
+        assert seen == ["late"]
+
+    def test_remove_callback(self, kernel):
+        fut = kernel.event()
+        seen = []
+        cb = lambda f: seen.append(1)  # noqa: E731
+        fut.add_callback(cb)
+        fut.remove_callback(cb)
+        fut.add_callback(lambda f: seen.append(2))
+        fut.succeed()
+        kernel.run()
+        assert seen == [2]
+
+    def test_unhandled_failure_raises_in_run(self, kernel):
+        fut = kernel.event()
+        fut.fail(RuntimeError("nobody listens"))
+        with pytest.raises(UnhandledFailure):
+            kernel.run()
+
+    def test_defused_failure_is_silent(self, kernel):
+        fut = kernel.event()
+        fut.defuse()
+        fut.fail(RuntimeError("ignored"))
+        kernel.run()
+        assert not fut.ok
+
+
+class TestTimeout:
+    def test_fires_at_correct_time(self, kernel):
+        times = []
+        t = kernel.timeout(7.5, value="hi")
+        t.add_callback(lambda f: times.append((kernel.now, f.value)))
+        kernel.run()
+        assert times == [(7.5, "hi")]
+
+    def test_zero_delay_fires_now(self, kernel):
+        t = kernel.timeout(0)
+        kernel.run()
+        assert t.processed
+        assert kernel.now == 0.0
+
+    def test_negative_delay_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            kernel.timeout(-1)
+
+    def test_ordering_among_timeouts(self, kernel):
+        order = []
+        for delay, label in [(3, "c"), (1, "a"), (2, "b")]:
+            kernel.timeout(delay).add_callback(lambda f, lbl=label: order.append(lbl))
+        kernel.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_fifo(self, kernel):
+        order = []
+        for label in "xyz":
+            kernel.timeout(5).add_callback(lambda f, lbl=label: order.append(lbl))
+        kernel.run()
+        assert order == ["x", "y", "z"]
+
+
+class TestAllOf:
+    def test_collects_values_in_order(self, kernel):
+        futures = [kernel.timeout(d, value=d) for d in (3, 1, 2)]
+        combined = AllOf(kernel, futures)
+        assert kernel.run(combined) == [3, 1, 2]
+        assert kernel.now == 3
+
+    def test_empty_succeeds_immediately(self, kernel):
+        combined = AllOf(kernel, [])
+        assert kernel.run(combined) == []
+
+    def test_fails_on_first_child_failure(self, kernel):
+        good = kernel.timeout(1)
+        bad = kernel.event()
+        bad.add_callback(lambda f: None)
+        combined = AllOf(kernel, [good, bad])
+        bad.fail(ValueError("child"), delay=0.5)
+        with pytest.raises(ValueError):
+            kernel.run(combined)
+
+    def test_already_processed_children(self, kernel):
+        futures = [kernel.timeout(0, value=i) for i in range(3)]
+        kernel.run()
+        combined = AllOf(kernel, futures)
+        assert kernel.run(combined) == [0, 1, 2]
+
+
+class TestAnyOf:
+    def test_first_wins(self, kernel):
+        futures = [kernel.timeout(5, "slow"), kernel.timeout(1, "fast")]
+        combined = AnyOf(kernel, futures)
+        assert kernel.run(combined) == (1, "fast")
+        assert kernel.now == 1
+
+    def test_requires_children(self, kernel):
+        with pytest.raises(ValueError):
+            AnyOf(kernel, [])
+
+    def test_failure_of_winner_propagates(self, kernel):
+        bad = kernel.event()
+        bad.add_callback(lambda f: None)
+        bad.fail(RuntimeError("first"), delay=1)
+        combined = AnyOf(kernel, [bad, kernel.timeout(5)])
+        with pytest.raises(RuntimeError):
+            kernel.run(combined)
+
+    def test_loser_completion_ignored(self, kernel):
+        futures = [kernel.timeout(1, "a"), kernel.timeout(2, "b")]
+        combined = AnyOf(kernel, futures)
+        kernel.run()
+        assert combined.value == (0, "a")

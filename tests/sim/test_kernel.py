@@ -1,0 +1,96 @@
+"""Unit tests for the kernel event loop and clock."""
+
+import pytest
+
+from repro.errors import SimError
+from repro.sim import Kernel
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(seed=7)
+
+
+class TestClock:
+    def test_starts_at_zero(self, kernel):
+        assert kernel.now == 0.0
+
+    def test_run_until_time_advances_clock(self, kernel):
+        kernel.timeout(3)
+        kernel.run(until=10)
+        assert kernel.now == 10
+
+    def test_run_until_does_not_process_later_events(self, kernel):
+        seen = []
+        kernel.timeout(5).add_callback(lambda f: seen.append("early"))
+        kernel.timeout(50).add_callback(lambda f: seen.append("late"))
+        kernel.run(until=10)
+        assert seen == ["early"]
+        kernel.run()
+        assert seen == ["early", "late"]
+
+    def test_peek(self, kernel):
+        assert kernel.peek() == float("inf")
+        kernel.timeout(4)
+        assert kernel.peek() == 4
+
+    def test_step_empty_raises(self, kernel):
+        with pytest.raises(SimError):
+            kernel.step()
+
+    def test_cannot_schedule_into_past(self, kernel):
+        fut = kernel.event()
+        with pytest.raises(SimError):
+            fut.succeed(delay=-1)
+
+
+class TestRunUntilEvent:
+    def test_returns_value(self, kernel):
+        t = kernel.timeout(2, value="done")
+        assert kernel.run(t) == "done"
+        assert kernel.now == 2
+
+    def test_raises_on_failure(self, kernel):
+        fut = kernel.event()
+        fut.fail(ValueError("x"), delay=1)
+        with pytest.raises(ValueError):
+            kernel.run(fut)
+
+    def test_exhausted_queue_raises(self, kernel):
+        fut = kernel.event()  # never triggered
+        kernel.timeout(1)
+        with pytest.raises(SimError):
+            kernel.run(fut)
+
+
+class TestCallSoon:
+    def test_runs_with_args(self, kernel):
+        seen = []
+        kernel.call_soon(seen.append, "a")
+        kernel.call_soon(seen.append, "b", delay=1)
+        kernel.run()
+        assert seen == ["a", "b"]
+
+
+class TestDeterminism:
+    def test_same_seed_same_draws(self):
+        def draws(seed):
+            k = Kernel(seed=seed)
+            rng = k.rng.stream("test")
+            return [rng.random() for _ in range(5)]
+
+        assert draws(42) == draws(42)
+        assert draws(42) != draws(43)
+
+    def test_streams_are_independent(self):
+        k = Kernel(seed=1)
+        a1 = [k.rng.stream("a").random() for _ in range(3)]
+        k2 = Kernel(seed=1)
+        # Interleave a draw from another stream; 'a' must be unaffected.
+        k2.rng.stream("b").random()
+        a2 = [k2.rng.stream("a").random() for _ in range(3)]
+        assert a1 == a2
+
+    def test_stream_is_cached(self):
+        k = Kernel(seed=1)
+        assert k.rng.stream("x") is k.rng.stream("x")

@@ -1,0 +1,218 @@
+"""Unit tests for simulated processes."""
+
+import pytest
+
+from repro.errors import Interrupt, SimError
+from repro.sim import Kernel, Queue
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(seed=3)
+
+
+class TestBasics:
+    def test_process_runs_and_returns(self, kernel):
+        def body():
+            yield kernel.timeout(5)
+            return "result"
+
+        proc = kernel.process(body())
+        assert kernel.run(proc) == "result"
+        assert kernel.now == 5
+
+    def test_requires_generator(self, kernel):
+        with pytest.raises(TypeError):
+            kernel.process(lambda: None)  # type: ignore[arg-type]
+
+    def test_yield_non_future_fails_process(self, kernel):
+        def body():
+            yield 42  # type: ignore[misc]
+
+        proc = kernel.process(body())
+        with pytest.raises(SimError):
+            kernel.run(proc)
+
+    def test_exception_in_body_fails_process(self, kernel):
+        def body():
+            yield kernel.timeout(1)
+            raise RuntimeError("inside")
+
+        proc = kernel.process(body())
+        with pytest.raises(RuntimeError):
+            kernel.run(proc)
+
+    def test_yield_value_passthrough(self, kernel):
+        def body():
+            got = yield kernel.timeout(1, value="tick")
+            return got
+
+        assert kernel.run(kernel.process(body())) == "tick"
+
+    def test_failed_event_raises_inside_body(self, kernel):
+        fut = kernel.event()
+        fut.fail(KeyError("k"), delay=2)
+
+        def body():
+            try:
+                yield fut
+            except KeyError:
+                return "caught"
+
+        assert kernel.run(kernel.process(body())) == "caught"
+
+    def test_processes_wait_on_each_other(self, kernel):
+        def child():
+            yield kernel.timeout(3)
+            return 99
+
+        def parent():
+            value = yield kernel.process(child())
+            return value + 1
+
+        assert kernel.run(kernel.process(parent())) == 100
+
+    def test_two_processes_interleave(self, kernel):
+        trace = []
+
+        def worker(name, delay):
+            for _ in range(2):
+                yield kernel.timeout(delay)
+                trace.append((kernel.now, name))
+
+        kernel.process(worker("fast", 1))
+        kernel.process(worker("slow", 3))
+        kernel.run()
+        assert trace == [(1, "fast"), (2, "fast"), (3, "slow"), (6, "slow")]
+
+    def test_is_alive(self, kernel):
+        def body():
+            yield kernel.timeout(1)
+
+        proc = kernel.process(body())
+        assert proc.is_alive
+        kernel.run()
+        assert not proc.is_alive
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self, kernel):
+        def body():
+            try:
+                yield kernel.timeout(100)
+            except Interrupt as intr:
+                return ("interrupted", intr.cause, kernel.now)
+
+        proc = kernel.process(body())
+        kernel.process(self._interrupter(kernel, proc, delay=4, cause="stop"))
+        assert kernel.run(proc) == ("interrupted", "stop", 4)
+
+    @staticmethod
+    def _interrupter(kernel, target, delay, cause):
+        yield kernel.timeout(delay)
+        target.interrupt(cause)
+
+    def test_interrupt_finished_process_raises(self, kernel):
+        def body():
+            yield kernel.timeout(1)
+
+        proc = kernel.process(body())
+        kernel.run()
+        with pytest.raises(SimError):
+            proc.interrupt()
+
+    def test_uncaught_interrupt_fails_process(self, kernel):
+        def body():
+            yield kernel.timeout(100)
+
+        proc = kernel.process(body())
+        kernel.process(self._interrupter(kernel, proc, delay=1, cause=None))
+        with pytest.raises(Interrupt):
+            kernel.run(proc)
+
+    def test_rewait_after_interrupt(self, kernel):
+        """A process may resume waiting on the same event after an interrupt."""
+        tick = kernel.timeout(10, value="tick")
+
+        def body():
+            try:
+                yield tick
+            except Interrupt:
+                pass
+            value = yield tick
+            return (value, kernel.now)
+
+        proc = kernel.process(body())
+        kernel.process(self._interrupter(kernel, proc, delay=2, cause=None))
+        assert kernel.run(proc) == ("tick", 10)
+
+    def test_stale_wakeup_after_interrupt_is_ignored(self, kernel):
+        """The original wait target firing must not doubly resume the body."""
+        slow = kernel.timeout(5, value="slow")
+        resumes = []
+
+        def body():
+            try:
+                yield slow
+            except Interrupt:
+                pass
+            got = yield kernel.timeout(10, value="other")
+            resumes.append(got)
+            return got
+
+        proc = kernel.process(body())
+        kernel.process(self._interrupter(kernel, proc, delay=1, cause=None))
+        assert kernel.run(proc) == "other"
+        assert resumes == ["other"]
+
+
+class TestQueue:
+    def test_put_then_get(self, kernel):
+        q = Queue(kernel)
+        q.put("a")
+        assert kernel.run(q.get()) == "a"
+
+    def test_get_blocks_until_put(self, kernel):
+        q = Queue(kernel)
+        got = []
+
+        def consumer():
+            item = yield q.get()
+            got.append((kernel.now, item))
+
+        def producer():
+            yield kernel.timeout(5)
+            q.put("x")
+
+        kernel.process(consumer())
+        kernel.process(producer())
+        kernel.run()
+        assert got == [(5, "x")]
+
+    def test_fifo_order_items(self, kernel):
+        q = Queue(kernel)
+        for i in range(3):
+            q.put(i)
+        assert [kernel.run(q.get()) for _ in range(3)] == [0, 1, 2]
+
+    def test_fifo_order_waiters(self, kernel):
+        q = Queue(kernel)
+        got = []
+
+        def consumer(name):
+            item = yield q.get()
+            got.append((name, item))
+
+        kernel.process(consumer("first"))
+        kernel.process(consumer("second"))
+        kernel.run()
+        q.put(1)
+        q.put(2)
+        kernel.run()
+        assert got == [("first", 1), ("second", 2)]
+
+    def test_clear_drops_items(self, kernel):
+        q = Queue(kernel)
+        q.put("stale")
+        q.clear()
+        assert len(q) == 0

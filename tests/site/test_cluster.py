@@ -1,0 +1,96 @@
+"""Unit tests for cluster assembly and failure detection."""
+
+import pytest
+
+from repro.net import ConstantLatency
+from repro.sim import Kernel
+from repro.site import Cluster, SiteStatus
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(seed=9)
+
+
+@pytest.fixture
+def cluster(kernel):
+    cluster = Cluster(kernel, n_sites=3, latency=ConstantLatency(1.0), detection_delay=5.0)
+    cluster.boot_all()
+    return cluster
+
+
+class TestAssembly:
+    def test_sites_numbered_from_one(self, cluster):
+        assert cluster.site_ids == [1, 2, 3]
+
+    def test_boot_all_makes_operational(self, cluster):
+        assert cluster.operational_sites() == [1, 2, 3]
+        for sid in cluster.site_ids:
+            assert cluster.site(sid).status is SiteStatus.UP
+
+    def test_requires_at_least_one_site(self, kernel):
+        with pytest.raises(ValueError):
+            Cluster(kernel, n_sites=0)
+
+
+class TestDetection:
+    def test_crash_detected_after_delay(self, kernel, cluster):
+        cluster.crash_site(2)
+        assert cluster.detector(1).believes_up(2)  # not yet
+        kernel.run(until=5.0)
+        assert not cluster.detector(1).believes_up(2)
+        assert not cluster.detector(3).believes_up(2)
+
+    def test_down_callbacks_fire_once(self, kernel, cluster):
+        events = []
+        cluster.detector(1).on_down(lambda sid: events.append(sid))
+        cluster.crash_site(2)
+        kernel.run(until=20)
+        assert events == [2]
+
+    def test_detector_never_suspects_live_site(self, kernel, cluster):
+        kernel.run(until=100)
+        for observer in cluster.site_ids:
+            for target in cluster.site_ids:
+                assert cluster.detector(observer).believes_up(target)
+
+    def test_recovered_before_detection_is_not_marked_down(self, kernel, cluster):
+        """If the site is back up before the timeout fires, no suspicion."""
+        cluster.crash_site(2)
+        kernel.run(until=2.0)
+        cluster.power_on_site(2)
+        cluster.site(2).become_operational()
+        kernel.run(until=10.0)
+        assert cluster.detector(1).believes_up(2)
+
+    def test_crashed_observer_does_not_detect(self, kernel, cluster):
+        cluster.crash_site(1)
+        cluster.crash_site(2)
+        kernel.run(until=10)
+        # Site 1 is down; its detector was reset and got no notifications.
+        assert cluster.detector(1).up_sites() == set()
+
+    def test_operational_and_powered_views(self, kernel, cluster):
+        cluster.crash_site(3)
+        assert cluster.operational_sites() == [1, 2]
+        cluster.power_on_site(3)
+        assert cluster.operational_sites() == [1, 2]
+        assert cluster.powered_sites() == [1, 2, 3]
+
+    def test_reboot_seeds_detector_with_ground_truth(self, kernel, cluster):
+        cluster.crash_site(2)
+        cluster.crash_site(3)
+        kernel.run(until=6)
+        cluster.power_on_site(2)
+        detector = cluster.detector(2)
+        assert detector.believes_up(1)
+        assert detector.believes_up(2)
+        assert not detector.believes_up(3)
+
+    def test_notify_recovered_updates_live_detectors(self, kernel, cluster):
+        cluster.crash_site(2)
+        kernel.run(until=6)
+        assert not cluster.detector(1).believes_up(2)
+        cluster.power_on_site(2)
+        cluster.notify_recovered(2)
+        assert cluster.detector(1).believes_up(2)

@@ -1,0 +1,114 @@
+"""Unit tests for site lifecycle and crash semantics."""
+
+import pytest
+
+from repro.errors import InvalidStateTransition
+from repro.net import ConstantLatency, Network
+from repro.sim import Kernel
+from repro.site import Site, SiteStatus
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(seed=2)
+
+
+@pytest.fixture
+def net(kernel):
+    return Network(kernel, latency=ConstantLatency(1.0))
+
+
+@pytest.fixture
+def site(kernel, net):
+    return Site(kernel, net, 1)
+
+
+class TestLifecycle:
+    def test_starts_down(self, site):
+        assert site.status is SiteStatus.DOWN
+        assert site.is_down
+        assert not site.is_operational
+
+    def test_power_on_enters_recovering(self, site):
+        site.power_on()
+        assert site.status is SiteStatus.RECOVERING
+        assert not site.is_operational
+        assert site.rpc.running
+
+    def test_become_operational(self, site):
+        site.power_on()
+        site.become_operational()
+        assert site.is_operational
+
+    def test_power_on_twice_rejected(self, site):
+        site.power_on()
+        with pytest.raises(InvalidStateTransition):
+            site.power_on()
+
+    def test_become_operational_requires_recovering(self, site):
+        with pytest.raises(InvalidStateTransition):
+            site.become_operational()
+        site.power_on()
+        site.become_operational()
+        with pytest.raises(InvalidStateTransition):
+            site.become_operational()
+
+    def test_crash_requires_powered(self, site):
+        with pytest.raises(InvalidStateTransition):
+            site.crash()
+
+    def test_crash_records_time_and_count(self, kernel, site):
+        site.power_on()
+        kernel.run(until=10)
+        site.crash()
+        assert site.last_crash_time == 10
+        assert site.crash_count == 1
+
+
+class TestCrashSemantics:
+    def test_crash_kills_spawned_processes(self, kernel, site):
+        site.power_on()
+        progress = []
+
+        def worker():
+            yield kernel.timeout(100)
+            progress.append("done")  # must never run
+
+        site.spawn(worker(), name="worker")
+        kernel.run(until=5)
+        site.crash()
+        kernel.run()
+        assert progress == []
+
+    def test_crash_runs_hooks(self, site):
+        site.power_on()
+        fired = []
+        site.crash_hooks.append(lambda: fired.append("crash"))
+        site.crash()
+        assert fired == ["crash"]
+
+    def test_power_on_runs_hooks(self, site):
+        fired = []
+        site.power_on_hooks.append(lambda: fired.append("on"))
+        site.power_on()
+        assert fired == ["on"]
+
+    def test_stable_storage_survives_crash(self, site):
+        site.power_on()
+        site.stable.put("session", 4)
+        site.copies.create("X", value=1)
+        site.crash()
+        assert site.stable.get("session") == 4
+        assert site.copies.get("X").value == 1
+
+    def test_spawned_process_completes_normally(self, kernel, site):
+        site.power_on()
+        done = []
+
+        def quick():
+            yield kernel.timeout(1)
+            done.append(True)
+
+        site.spawn(quick(), name="quick")
+        kernel.run()
+        assert done == [True]

@@ -1,0 +1,30 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for key in EXPERIMENTS:
+        assert key in out
+
+
+def test_unknown_experiment(capsys):
+    assert main(["e99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_run_small_experiment(capsys):
+    assert main(["e5", "--scale", "small", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "fail-locks" in out
+    assert "marked" in out
+
+
+def test_every_registered_experiment_has_both_scales():
+    for key, spec in EXPERIMENTS.items():
+        assert "small" in spec and "full" in spec, key
+        assert hasattr(spec["module"], "run"), key

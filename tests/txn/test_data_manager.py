@@ -1,0 +1,203 @@
+"""Direct handler-level tests for the DataManager."""
+
+import pytest
+
+from repro.errors import (
+    CopyUnreadable,
+    NotOperational,
+    SessionMismatch,
+    TransactionError,
+)
+from repro.histories import HistoryRecorder
+from repro.net import ConstantLatency, Network
+from repro.sim import Kernel
+from repro.site import Site, SiteStatus
+from repro.storage.copies import Version
+from repro.txn import DataManager, TxnConfig
+from repro.txn.payloads import (
+    CommitRequest,
+    FinishRequest,
+    OutcomeQuery,
+    PrepareRequest,
+    ReadRequest,
+    WriteRequest,
+)
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(seed=23)
+
+
+@pytest.fixture
+def rig(kernel):
+    network = Network(kernel, latency=ConstantLatency(1.0))
+    site = Site(kernel, network, 1)
+    network.attach(2)  # a peer address for rpc sources
+    recorder = HistoryRecorder()
+    dm = DataManager(kernel, site, recorder, TxnConfig(rpc_timeout=10.0))
+    site.power_on()
+    site.become_operational()
+    dm.actual_session = 1
+    site.copies.create("X", value=10)
+    return kernel, site, dm, recorder
+
+
+def drive(kernel, generator_or_value):
+    """Run a handler (generator or plain value) to completion."""
+    if hasattr(generator_or_value, "send"):
+        return kernel.run(kernel.process(generator_or_value))
+    return generator_or_value
+
+
+def read_req(txn="T1@2", seq=1, **kwargs):
+    defaults = dict(txn_id=txn, txn_seq=seq, kind="user", item="X", expected=1)
+    defaults.update(kwargs)
+    return ReadRequest(**defaults)
+
+
+def write_req(txn="T1@2", seq=1, value=99, **kwargs):
+    defaults = dict(txn_id=txn, txn_seq=seq, kind="user", item="X",
+                    value=value, expected=1)
+    defaults.update(kwargs)
+    return WriteRequest(**defaults)
+
+
+class TestSessionCheck:
+    def test_matching_session_passes(self, rig):
+        kernel, _site, dm, _rec = rig
+        value, version = drive(kernel, dm._handle_read(read_req(), src=2))
+        assert value == 10
+
+    def test_mismatch_rejected(self, rig):
+        kernel, _site, dm, _rec = rig
+        with pytest.raises(SessionMismatch) as excinfo:
+            drive(kernel, dm._handle_read(read_req(expected=7), src=2))
+        assert excinfo.value.expected == 7
+        assert excinfo.value.actual == 1
+        assert dm.stats_session_rejections == 1
+
+    def test_recovering_site_rejects_tagged_requests(self, rig):
+        kernel, site, dm, _rec = rig
+        site.status = SiteStatus.RECOVERING
+        dm.actual_session = 0
+        with pytest.raises(SessionMismatch):
+            drive(kernel, dm._handle_read(read_req(expected=1), src=2))
+
+    def test_untagged_request_needs_operational(self, rig):
+        kernel, site, dm, _rec = rig
+        site.status = SiteStatus.RECOVERING
+        with pytest.raises(NotOperational):
+            drive(kernel, dm._handle_read(read_req(expected=None), src=2))
+
+    def test_privileged_bypasses_both_checks(self, rig):
+        kernel, site, dm, _rec = rig
+        site.status = SiteStatus.RECOVERING
+        dm.actual_session = 0
+        value, _v = drive(
+            kernel,
+            dm._handle_read(read_req(expected=5, privileged=True, kind="control"),
+                            src=2),
+        )
+        assert value == 10
+
+
+class TestReadsAndWrites:
+    def test_unknown_item_rejected(self, rig):
+        kernel, _site, dm, _rec = rig
+        with pytest.raises(TransactionError):
+            drive(kernel, dm._handle_read(read_req(item="NOPE"), src=2))
+
+    def test_unreadable_copy_rejected_and_hook_fired(self, rig):
+        kernel, site, dm, _rec = rig
+        site.copies.mark_unreadable("X")
+        fired = []
+        dm.unreadable_read_hooks.append(fired.append)
+        with pytest.raises(CopyUnreadable):
+            drive(kernel, dm._handle_read(read_req(), src=2))
+        assert fired == ["X"]
+        # The rejected reader left no lock behind:
+        from repro.txn import LockMode
+
+        assert dm.lock_manager.waiting_txns() == set()
+        assert not dm.lock_manager.holds("T1@2", "X", LockMode.S)
+
+    def test_peek_ignores_unreadable_and_records_nothing(self, rig):
+        kernel, site, dm, rec = rig
+        site.copies.mark_unreadable("X")
+        value, version = drive(
+            kernel, dm._handle_read(read_req(peek_unreadable=True), src=2)
+        )
+        assert value == 10
+        assert rec.ops == []
+
+    def test_read_your_own_buffered_write(self, rig):
+        kernel, _site, dm, _rec = rig
+        drive(kernel, dm._handle_write(write_req(value=77), src=2))
+        value, _version = drive(kernel, dm._handle_read(read_req(), src=2))
+        assert value == 77
+
+    def test_write_buffers_until_commit(self, rig):
+        kernel, site, dm, _rec = rig
+        drive(kernel, dm._handle_write(write_req(value=77), src=2))
+        assert site.copies.get("X").value == 10  # not applied yet
+        dm._handle_prepare(PrepareRequest("T1@2", participants=(1,)), src=2)
+        version = Version(5.0, 50, 1)
+        dm._handle_commit(CommitRequest("T1@2", version), src=2)
+        assert site.copies.get("X").value == 77
+        assert site.copies.get("X").version == version
+
+    def test_abort_discards_buffered_write(self, rig):
+        kernel, site, dm, _rec = rig
+        drive(kernel, dm._handle_write(write_req(value=77), src=2))
+        dm._handle_finish(FinishRequest("T1@2"), src=2)
+        assert site.copies.get("X").value == 10
+
+    def test_straggler_op_after_decision_rejected(self, rig):
+        kernel, _site, dm, _rec = rig
+        drive(kernel, dm._handle_write(write_req(), src=2))
+        dm._handle_finish(FinishRequest("T1@2"), src=2)
+        with pytest.raises(TransactionError, match="already decided"):
+            drive(kernel, dm._handle_read(read_req(), src=2))
+
+
+class TestOutcomeQueries:
+    def test_unknown_txn_is_unknown(self, rig):
+        _kernel, _site, dm, _rec = rig
+        assert dm._handle_outcome(OutcomeQuery("T9@2"), src=2) == ("unknown", None)
+
+    def test_active_then_prepared_then_committed(self, rig):
+        kernel, _site, dm, _rec = rig
+        drive(kernel, dm._handle_write(write_req(), src=2))
+        assert dm._handle_outcome(OutcomeQuery("T1@2"), src=2) == ("active", None)
+        dm._handle_prepare(PrepareRequest("T1@2", participants=(1,)), src=2)
+        assert dm._handle_outcome(OutcomeQuery("T1@2"), src=2) == ("prepared", None)
+        version = Version(5.0, 51, 1)
+        dm._handle_commit(CommitRequest("T1@2", version), src=2)
+        status, got = dm._handle_outcome(OutcomeQuery("T1@2"), src=2)
+        assert status == "committed"
+        assert got == version
+
+    def test_vote_no_for_unknown_prepare(self, rig):
+        _kernel, _site, dm, _rec = rig
+        assert dm._handle_prepare(PrepareRequest("T9@2", participants=(1,)),
+                                  src=2) is False
+
+    def test_duplicate_commit_is_idempotent(self, rig):
+        kernel, site, dm, _rec = rig
+        drive(kernel, dm._handle_write(write_req(value=5), src=2))
+        version = Version(5.0, 52, 1)
+        dm._handle_commit(CommitRequest("T1@2", version), src=2)
+        dm._handle_commit(CommitRequest("T1@2", version), src=2)  # no-op
+        assert site.copies.get("X").value == 5
+
+
+class TestCrashReset:
+    def test_crash_clears_everything_volatile(self, rig):
+        kernel, site, dm, _rec = rig
+        drive(kernel, dm._handle_write(write_req(), src=2))
+        old_locks = dm.lock_manager
+        site.crash()
+        assert dm.actual_session == 0
+        assert dm._participations == {}
+        assert dm.lock_manager is not old_locks

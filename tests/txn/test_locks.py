@@ -1,0 +1,210 @@
+"""Unit tests for the strict-2PL lock manager."""
+
+import pytest
+
+from repro.errors import DeadlockDetected
+from repro.sim import Kernel
+from repro.txn import LockManager, LockMode
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(seed=4)
+
+
+@pytest.fixture
+def locks(kernel):
+    return LockManager(kernel, site_id=1)
+
+
+def granted(future):
+    """A lock future granted synchronously is triggered immediately."""
+    return future.triggered and future.ok
+
+
+class TestGrants:
+    def test_free_item_grants_immediately(self, locks):
+        assert granted(locks.acquire("T1@1", "X", LockMode.X))
+
+    def test_shared_locks_coexist(self, locks):
+        assert granted(locks.acquire("T1@1", "X", LockMode.S))
+        assert granted(locks.acquire("T2@1", "X", LockMode.S))
+
+    def test_exclusive_blocks_shared(self, locks):
+        locks.acquire("T1@1", "X", LockMode.X)
+        assert not locks.acquire("T2@1", "X", LockMode.S).triggered
+
+    def test_shared_blocks_exclusive(self, locks):
+        locks.acquire("T1@1", "X", LockMode.S)
+        assert not locks.acquire("T2@1", "X", LockMode.X).triggered
+
+    def test_reentrant_same_mode(self, locks):
+        locks.acquire("T1@1", "X", LockMode.S)
+        assert granted(locks.acquire("T1@1", "X", LockMode.S))
+
+    def test_x_covers_s(self, locks):
+        locks.acquire("T1@1", "X", LockMode.X)
+        assert granted(locks.acquire("T1@1", "X", LockMode.S))
+
+    def test_holds(self, locks):
+        locks.acquire("T1@1", "X", LockMode.S)
+        assert locks.holds("T1@1", "X", LockMode.S)
+        assert not locks.holds("T1@1", "X", LockMode.X)
+        assert not locks.holds("T2@1", "X", LockMode.S)
+
+    def test_different_items_independent(self, locks):
+        locks.acquire("T1@1", "X", LockMode.X)
+        assert granted(locks.acquire("T2@1", "Y", LockMode.X))
+
+
+class TestUpgrade:
+    def test_sole_holder_upgrades_immediately(self, locks):
+        locks.acquire("T1@1", "X", LockMode.S)
+        assert granted(locks.acquire("T1@1", "X", LockMode.X))
+        assert locks.holds("T1@1", "X", LockMode.X)
+
+    def test_upgrade_waits_for_other_readers(self, kernel, locks):
+        locks.acquire("T1@1", "X", LockMode.S)
+        locks.acquire("T2@1", "X", LockMode.S)
+        upgrade = locks.acquire("T1@1", "X", LockMode.X)
+        assert not upgrade.triggered
+        locks.release_all("T2@1")
+        kernel.run()
+        assert upgrade.ok
+        assert locks.holds("T1@1", "X", LockMode.X)
+
+    def test_upgrade_jumps_queue(self, kernel, locks):
+        locks.acquire("T1@1", "X", LockMode.S)
+        locks.acquire("T2@1", "X", LockMode.S)
+        waiter = locks.acquire("T3@1", "X", LockMode.X)  # queued first
+        upgrade = locks.acquire("T1@1", "X", LockMode.X)  # jumps ahead
+        locks.release_all("T2@1")
+        kernel.run()
+        assert upgrade.triggered and upgrade.ok
+        assert not waiter.triggered
+
+
+class TestReleaseAndFifo:
+    def test_release_grants_next_waiter(self, kernel, locks):
+        locks.acquire("T1@1", "X", LockMode.X)
+        waiter = locks.acquire("T2@1", "X", LockMode.X)
+        locks.release_all("T1@1")
+        kernel.run()
+        assert waiter.ok
+        assert locks.holds("T2@1", "X", LockMode.X)
+
+    def test_release_grants_shared_batch(self, kernel, locks):
+        locks.acquire("T1@1", "X", LockMode.X)
+        readers = [locks.acquire(f"T{i}@1", "X", LockMode.S) for i in (2, 3, 4)]
+        locks.release_all("T1@1")
+        kernel.run()
+        assert all(r.ok for r in readers)
+
+    def test_fifo_no_overtaking(self, kernel, locks):
+        """A compatible S request must not overtake a queued X request."""
+        locks.acquire("T1@1", "X", LockMode.S)
+        writer = locks.acquire("T2@1", "X", LockMode.X)
+        late_reader = locks.acquire("T3@1", "X", LockMode.S)
+        assert not late_reader.triggered  # blocked behind the writer
+        locks.release_all("T1@1")
+        kernel.run()
+        assert writer.ok
+        assert not late_reader.triggered
+        locks.release_all("T2@1")
+        kernel.run()
+        assert late_reader.ok
+
+    def test_release_all_releases_every_item(self, kernel, locks):
+        locks.acquire("T1@1", "X", LockMode.X)
+        locks.acquire("T1@1", "Y", LockMode.X)
+        w_x = locks.acquire("T2@1", "X", LockMode.S)
+        w_y = locks.acquire("T3@1", "Y", LockMode.S)
+        locks.release_all("T1@1")
+        kernel.run()
+        assert w_x.ok and w_y.ok
+
+    def test_release_unknown_txn_is_noop(self, locks):
+        locks.release_all("T99@1")  # must not raise
+
+
+class TestWaitIntrospection:
+    def test_wait_edges_on_holders(self, locks):
+        locks.acquire("T1@1", "X", LockMode.X)
+        locks.acquire("T2@1", "X", LockMode.X)
+        assert ("T2@1", "T1@1") in locks.wait_edges()
+
+    def test_wait_edges_on_queue_order(self, locks):
+        locks.acquire("T1@1", "X", LockMode.S)
+        locks.acquire("T2@1", "X", LockMode.X)
+        locks.acquire("T3@1", "X", LockMode.X)
+        edges = locks.wait_edges()
+        assert ("T3@1", "T2@1") in edges  # queue-order blocking
+
+    def test_waiting_txns(self, locks):
+        locks.acquire("T1@1", "X", LockMode.X)
+        locks.acquire("T2@1", "X", LockMode.S)
+        assert locks.waiting_txns() == {"T2@1"}
+
+
+class TestVictimsAndTimeouts:
+    def test_kill_waiter_fails_future(self, kernel, locks):
+        locks.acquire("T1@1", "X", LockMode.X)
+        waiter = locks.acquire("T2@1", "X", LockMode.X)
+        waiter.add_callback(lambda f: None)
+        assert locks.kill_waiter("T2@1")
+        kernel.run()
+        assert isinstance(waiter.exception, DeadlockDetected)
+
+    def test_kill_waiter_promotes_queue(self, kernel, locks):
+        locks.acquire("T1@1", "X", LockMode.S)
+        blocker = locks.acquire("T2@1", "X", LockMode.X)
+        blocker.add_callback(lambda f: None)
+        reader = locks.acquire("T3@1", "X", LockMode.S)
+        locks.kill_waiter("T2@1")
+        kernel.run()
+        assert reader.ok  # freed by the kill
+
+    def test_kill_nonwaiter_returns_false(self, locks):
+        locks.acquire("T1@1", "X", LockMode.X)
+        assert not locks.kill_waiter("T1@1")
+
+    def test_wait_timeout_backstop(self, kernel):
+        locks = LockManager(kernel, site_id=1, wait_timeout=10)
+        locks.acquire("T1@1", "X", LockMode.X)
+        waiter = locks.acquire("T2@1", "X", LockMode.X)
+        waiter.add_callback(lambda f: None)
+        kernel.run()
+        assert isinstance(waiter.exception, DeadlockDetected)
+        assert kernel.now == 10
+
+    def test_timeout_does_not_fire_after_grant(self, kernel):
+        locks = LockManager(kernel, site_id=1, wait_timeout=10)
+        locks.acquire("T1@1", "X", LockMode.X)
+        waiter = locks.acquire("T2@1", "X", LockMode.X)
+        locks.release_all("T1@1")
+        kernel.run()
+        assert waiter.ok  # timeout event later is a no-op
+
+
+class TestAbandonment:
+    def test_interrupted_waiter_leaves_queue(self, kernel, locks):
+        """A process interrupted while waiting must not hold its queue slot."""
+        locks.acquire("T1@1", "X", LockMode.X)
+
+        def waiter_body():
+            yield locks.acquire("T2@1", "X", LockMode.X)
+
+        proc = kernel.process(waiter_body())
+        proc.defuse()
+
+        def interrupter():
+            yield kernel.timeout(1)
+            proc.interrupt("crash")
+
+        kernel.process(interrupter())
+        kernel.run()
+        reader = locks.acquire("T3@1", "X", LockMode.S)
+        locks.release_all("T1@1")
+        kernel.run()
+        assert reader.ok
+        assert locks.waiting_txns() == set()

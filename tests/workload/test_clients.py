@@ -1,0 +1,89 @@
+"""Tests for the client drivers."""
+
+import random
+
+import pytest
+
+from repro.workload import ClientPool, OpenLoopClient, WorkloadGenerator, WorkloadSpec
+from tests.core.conftest import build_system
+
+
+@pytest.fixture
+def rig():
+    return build_system(seed=81, items={f"X{i}": 0 for i in range(8)})
+
+
+def make_generator(seed=1, **overrides):
+    spec = WorkloadSpec(n_items=8, ops_per_txn=2, write_fraction=0.3, **overrides)
+    return WorkloadGenerator(spec, random.Random(seed))
+
+
+class TestClientPool:
+    def test_closed_loop_commits_work(self, rig):
+        kernel, system = rig
+        pool = ClientPool(system, make_generator(), n_clients=3, think_time=2.0)
+        pool.start(200.0)
+        kernel.run(until=250.0)
+        system.stop()
+        kernel.run(until=260.0)
+        assert pool.stats.committed > 10
+        assert pool.stats.availability > 0.9
+        assert len(pool.stats.latencies) == pool.stats.committed
+
+    def test_refused_when_home_down(self, rig):
+        kernel, system = rig
+        system.crash(2)
+        kernel.run(until=10)
+        pool = ClientPool(system, make_generator(), n_clients=1,
+                          think_time=2.0, home_sites=[2])
+        pool.start(60.0)
+        kernel.run(until=80.0)
+        assert pool.stats.refused > 0
+        assert pool.stats.committed == 0
+
+    def test_stats_merge(self):
+        from repro.workload import ClientStats
+
+        a = ClientStats(attempted=4, committed=3, aborted=1, latencies=[1.0])
+        b = ClientStats(attempted=2, committed=2, latencies=[2.0, 3.0])
+        a.merge(b)
+        assert a.attempted == 6
+        assert a.committed == 5
+        assert a.latencies == [1.0, 2.0, 3.0]
+
+    def test_empty_stats_availability_is_one(self):
+        from repro.workload import ClientStats
+
+        assert ClientStats().availability == 1.0
+
+
+class TestOpenLoopClient:
+    def test_rate_controls_arrivals(self, rig):
+        kernel, system = rig
+        fast = OpenLoopClient(system, make_generator(), rate=0.5)
+        fast.start(200.0)
+        kernel.run(until=250.0)
+        system.stop()
+        kernel.run(until=300.0)
+        # Poisson(0.5/unit × 200 units) ≈ 100 arrivals.
+        assert 50 <= fast.stats.attempted <= 160
+        assert fast.stats.committed > 0
+
+    def test_keeps_injecting_during_outage(self, rig):
+        kernel, system = rig
+        client = OpenLoopClient(system, make_generator(), rate=0.5,
+                                home_sites=[3])
+        client.start(120.0)
+        kernel.run(until=30.0)
+        system.crash(3)
+        kernel.run(until=200.0)
+        system.stop()
+        kernel.run(until=260.0)
+        # Arrivals continued and were refused rather than silently dropped.
+        assert client.stats.refused > 0
+        assert client.stats.attempted > client.stats.committed
+
+    def test_rejects_bad_rate(self, rig):
+        _kernel, system = rig
+        with pytest.raises(ValueError):
+            OpenLoopClient(system, make_generator(), rate=0.0)

@@ -1,0 +1,80 @@
+"""Unit tests for failure schedules."""
+
+import random
+
+import pytest
+
+from repro.workload import FailureEvent, FailureSchedule
+
+
+class TestConstructors:
+    def test_single_outage(self):
+        schedule = FailureSchedule.single_outage(2, crash_at=10, downtime=30)
+        assert [
+            (event.time, event.action, event.site_id) for event in schedule
+        ] == [(10, "crash", 2), (40, "power_on", 2)]
+
+    def test_periodic(self):
+        schedule = FailureSchedule.periodic(
+            1, first_crash=5, period=100, downtime=20, horizon=250
+        )
+        times = [(event.time, event.action) for event in schedule]
+        assert times == [
+            (5, "crash"),
+            (25, "power_on"),
+            (105, "crash"),
+            (125, "power_on"),
+            (205, "crash"),
+            (225, "power_on"),
+        ]
+
+    def test_periodic_rejects_downtime_over_period(self):
+        with pytest.raises(ValueError):
+            FailureSchedule.periodic(1, 0, period=10, downtime=10, horizon=100)
+
+    def test_events_sorted(self):
+        schedule = FailureSchedule(
+            [FailureEvent(9, "crash", 1), FailureEvent(3, "crash", 2)]
+        )
+        assert [event.time for event in schedule] == [3, 9]
+
+
+class TestRandomFailures:
+    def test_never_below_min_up(self):
+        rng = random.Random(17)
+        schedule = FailureSchedule.random_failures(
+            [1, 2, 3], rng, horizon=10_000, mtbf=500, mttr=100, min_up_sites=1
+        )
+        up = {1: True, 2: True, 3: True}
+        for event in schedule:
+            if event.action == "crash":
+                up[event.site_id] = False
+            else:
+                up[event.site_id] = True
+            assert sum(up.values()) >= 1
+
+    def test_alternating_per_site(self):
+        rng = random.Random(23)
+        schedule = FailureSchedule.random_failures(
+            [1, 2], rng, horizon=20_000, mtbf=300, mttr=50
+        )
+        state = {1: "up", 2: "up"}
+        for event in schedule:
+            if event.action == "crash":
+                assert state[event.site_id] == "up"
+                state[event.site_id] = "down"
+            else:
+                assert state[event.site_id] == "down"
+                state[event.site_id] = "up"
+
+    def test_deterministic(self):
+        def build(seed):
+            return [
+                (event.time, event.action, event.site_id)
+                for event in FailureSchedule.random_failures(
+                    [1, 2, 3], random.Random(seed), 5000, 400, 80
+                )
+            ]
+
+        assert build(5) == build(5)
+        assert build(5) != build(6)

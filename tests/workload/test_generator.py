@@ -1,0 +1,110 @@
+"""Unit tests for workload generation."""
+
+import random
+
+import pytest
+
+from repro.workload import WorkloadGenerator, WorkloadSpec
+from repro.workload.generator import ZipfSampler
+
+
+class TestZipfSampler:
+    def test_uniform_when_s_zero(self):
+        sampler = ZipfSampler(10, 0.0)
+        rng = random.Random(1)
+        counts = [0] * 10
+        for _ in range(5000):
+            counts[sampler.sample(rng)] += 1
+        assert min(counts) > 300  # roughly uniform
+
+    def test_skew_prefers_low_ranks(self):
+        sampler = ZipfSampler(10, 1.2)
+        rng = random.Random(1)
+        counts = [0] * 10
+        for _ in range(5000):
+            counts[sampler.sample(rng)] += 1
+        assert counts[0] > counts[9] * 3
+
+    def test_bounds(self):
+        sampler = ZipfSampler(5, 1.0)
+        rng = random.Random(2)
+        assert all(0 <= sampler.sample(rng) < 5 for _ in range(1000))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 1.0)
+
+
+class TestWorkloadSpec:
+    def test_item_names(self):
+        spec = WorkloadSpec(n_items=3)
+        assert spec.item_names() == ["X0", "X1", "X2"]
+        assert spec.initial_items(7) == {"X0": 7, "X1": 7, "X2": 7}
+
+
+class TestWorkloadGenerator:
+    def test_deterministic_given_seed(self):
+        def ops_of(seed):
+            spec = WorkloadSpec(n_items=8, ops_per_txn=3, write_fraction=0.5)
+            gen = WorkloadGenerator(spec, random.Random(seed))
+            # Programs capture their ops at creation; run one to observe.
+            return [gen.next_program() for _ in range(5)]
+
+        # Same seed produces identically shaped generators (we compare by
+        # driving them in identical fake contexts below).
+        class FakeCtx:
+            def __init__(self):
+                self.trace = []
+
+            def read(self, item):
+                self.trace.append(("r", item))
+                return iter(())
+                yield  # pragma: no cover
+
+            def write(self, item, value):
+                self.trace.append(("w", item))
+                return iter(())
+                yield  # pragma: no cover
+
+        def trace(programs):
+            out = []
+            for program in programs:
+                ctx = FakeCtx()
+                gen = program(ctx)
+                try:
+                    while True:
+                        next(gen)
+                except StopIteration:
+                    pass
+                out.append(tuple(ctx.trace))
+            return out
+
+        assert trace(ops_of(3)) == trace(ops_of(3))
+        assert trace(ops_of(3)) != trace(ops_of(4))
+
+    def test_distinct_items_per_txn(self):
+        spec = WorkloadSpec(n_items=16, ops_per_txn=5, write_fraction=0.0,
+                            read_modify_write=False)
+        gen = WorkloadGenerator(spec, random.Random(9))
+
+        class FakeCtx:
+            def __init__(self):
+                self.items = []
+
+            def read(self, item):
+                self.items.append(item)
+                return iter(())
+
+            def write(self, item, value):
+                self.items.append(item)
+                return iter(())
+
+        for _ in range(20):
+            ctx = FakeCtx()
+            body = gen.next_program()(ctx)
+            try:
+                while True:
+                    next(body)
+            except StopIteration:
+                pass
+            assert len(set(ctx.items)) == len(ctx.items)
