@@ -54,6 +54,67 @@ def test_process_switch_throughput(benchmark):
     assert benchmark(run)
 
 
+def test_timeout_cancellation_churn(benchmark):
+    """10k scheduled timers, 90% cancelled before firing.
+
+    The RPC layer's dominant pattern: a per-call timeout timer that is
+    almost always cancelled because the reply lands first. Exercises
+    the lazy-cancellation path — cancel is O(1), dead entries are
+    skipped at pop time and never count as processed events.
+    """
+
+    def noop():
+        return None
+
+    def run():
+        kernel = Kernel(seed=0)
+        timers = [
+            kernel.schedule_callback(5.0 + (index % 13), noop)
+            for index in range(10_000)
+        ]
+        for index, timer in enumerate(timers):
+            if index % 10 != 0:
+                timer.cancel()
+        kernel.run()
+        return kernel.events_processed
+
+    assert benchmark(run) == 1000
+
+
+def test_copier_refresh_throughput(benchmark):
+    """Crash a site, miss 16 updates, recover, drain the copiers."""
+    from repro.baselines import build_rowaa_system
+
+    n_items = 16
+
+    def write_program(item, value):
+        def program(ctx):
+            yield from ctx.write(item, value)
+
+        return program
+
+    def run():
+        kernel = Kernel(seed=0)
+        system = build_rowaa_system(
+            kernel, 3, {f"X{i}": 0 for i in range(n_items)},
+            latency=ConstantLatency(1.0), config=TxnConfig(),
+        )
+        system.crash(3)
+        kernel.run(until=kernel.now + 40)
+        for index in range(n_items):
+            kernel.run(
+                system.submit_with_retry(
+                    1, write_program(f"X{index}", index), attempts=4
+                )
+            )
+        kernel.run(system.power_on(3))
+        kernel.run(until=kernel.now + 2000)
+        system.stop()
+        return system.copiers[3].stats.copies_performed
+
+    assert benchmark(run) >= n_items
+
+
 def test_lock_manager_throughput(benchmark):
     """5k uncontended acquire/release cycles."""
 

@@ -3,12 +3,19 @@
 Usage::
 
     python -m repro list
-    python -m repro e1 [--seed 3] [--scale small|full]
-    python -m repro all --scale small
+    python -m repro e1 [--seed 3] [--scale small|full] [--jobs 4]
+    python -m repro all --scale small --jobs 4 --bench-out BENCH_grid.json
+    python -m repro bench [--quick] [--check]
 
 Each experiment prints the table documented in EXPERIMENTS.md; ``small``
 scale finishes in a few seconds per experiment, ``full`` matches the
-recorded tables.
+recorded tables. ``--jobs N`` fans the (scheme × seed × config) cell
+grid across a process pool — results are identical to a serial run
+(cells are pure functions of their arguments). ``bench`` runs the
+microbenchmark suite and appends to the perf trajectory
+(``BENCH_kernel.json``); ``bench --check`` additionally fails when
+kernel event throughput regressed more than 30% against the last
+committed entry.
 """
 
 from __future__ import annotations
@@ -94,25 +101,137 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (e1..e8), 'all', or 'list'",
+        help="experiment id (e1..e8), 'all', 'list', or 'bench'",
     )
     parser.add_argument("--seed", type=int, default=3, help="master seed")
     parser.add_argument(
         "--scale", choices=("small", "full"), default="small",
         help="parameter scale (default: small)",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="fan experiment cells across N worker processes",
+    )
+    parser.add_argument(
+        "--bench-out", default=None, metavar="PATH",
+        help="append per-cell wall times to this grid trajectory file",
+    )
+    # bench-only options (ignored by the experiment subcommands).
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="bench: smaller iteration counts (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--label", default="dev", help="bench: label for the trajectory entry"
+    )
+    parser.add_argument(
+        "--trajectory", default="BENCH_kernel.json", metavar="PATH",
+        help="bench: trajectory file (default: BENCH_kernel.json)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="bench: fail on regression against the last trajectory entry",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=0.30, metavar="FRAC",
+        help="bench --check: tolerated fractional drop (default 0.30)",
+    )
+    parser.add_argument(
+        "--no-append", action="store_true",
+        help="bench: do not write the run into the trajectory file",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="bench: also write this run's metrics to a standalone file",
+    )
     return parser
 
 
-def run_one(name: str, seed: int, scale: str) -> None:
+def run_one(
+    name: str, seed: int, scale: str, jobs: int | None = None,
+    bench_out: str | None = None,
+) -> None:
     """Run one experiment and print its table."""
+    from repro.harness import parallel
+
     spec = EXPERIMENTS[name]
     params = dict(spec[scale])
+    params["seed"] = seed
     start = time.time()
-    table = spec["module"].run(seed=seed, **params)
+    table, timings = parallel.run_experiment(spec["module"], params, jobs=jobs)
+    wall = time.time() - start
     print(table.render())
-    print(f"({name} at scale={scale}, seed={seed}, "
-          f"{time.time() - start:.1f}s wall)\n")
+    print(f"({name} at scale={scale}, seed={seed}, jobs={jobs or 1}, "
+          f"{wall:.1f}s wall)\n")
+    if bench_out:
+        parallel.write_grid_trajectory(
+            bench_out, timings, label=f"{name}@{scale}", jobs=jobs,
+            extra={"wall_s": round(wall, 4), "seed": seed},
+        )
+
+
+def run_all(
+    seed: int, scale: str, jobs: int | None, bench_out: str | None
+) -> None:
+    """Run the whole E1–E8 grid, pooling every cell together."""
+    from repro.harness import parallel
+
+    specs = []
+    for name, spec in EXPERIMENTS.items():
+        params = dict(spec[scale])
+        params["seed"] = seed
+        specs.append((name, spec["module"], params))
+    start = time.time()
+    tables, timings = parallel.run_grid(specs, jobs=jobs)
+    wall = time.time() - start
+    for name, table in tables.items():
+        print(table.render())
+        print()
+    print(f"(all at scale={scale}, seed={seed}, jobs={jobs or 1}, "
+          f"{wall:.1f}s wall)")
+    if bench_out:
+        parallel.write_grid_trajectory(
+            bench_out, timings, label=f"all@{scale}", jobs=jobs,
+            extra={"wall_s": round(wall, 4), "seed": seed},
+        )
+
+
+def run_bench(args: argparse.Namespace) -> int:
+    """The ``bench`` subcommand: microbench suite + trajectory."""
+    from repro.harness import bench
+
+    metrics = bench.run_suite(quick=args.quick)
+    for key, value in metrics.items():
+        print(f"{key}: {value:.1f}")
+
+    exit_code = 0
+    if args.check:
+        trajectory = bench.load_trajectory(args.trajectory)
+        baseline = bench.latest_entry(trajectory, quick=args.quick)
+        if baseline is None:
+            print(f"no baseline in {args.trajectory}; nothing to check")
+        else:
+            ok, report = bench.compare(
+                baseline["metrics"], metrics,
+                max_regression=args.max_regression,
+            )
+            print(f"\nvs baseline {baseline['label']!r} "
+                  f"({baseline['timestamp']}):")
+            print(report)
+            if not ok:
+                exit_code = 1
+    if not args.no_append:
+        bench.append_entry(
+            args.trajectory, metrics, label=args.label, quick=args.quick
+        )
+    if args.out:
+        import json
+
+        with open(args.out, "w") as handle:
+            json.dump({"label": args.label, "quick": args.quick,
+                       "metrics": metrics}, handle, indent=2)
+            handle.write("\n")
+    return exit_code
 
 
 def main(argv: typing.Sequence[str] | None = None) -> int:
@@ -123,14 +242,16 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         for key, spec in EXPERIMENTS.items():
             print(f"{key}  {spec['title']}")
         return 0
+    if name == "bench":
+        return run_bench(args)
     if name == "all":
-        for key in EXPERIMENTS:
-            run_one(key, args.seed, args.scale)
+        run_all(args.seed, args.scale, args.jobs, args.bench_out)
         return 0
     if name not in EXPERIMENTS:
         print(f"unknown experiment {name!r}; try 'list'", file=sys.stderr)
         return 2
-    run_one(name, args.seed, args.scale)
+    run_one(name, args.seed, args.scale, jobs=args.jobs,
+            bench_out=args.bench_out)
     return 0
 
 

@@ -19,11 +19,64 @@ from __future__ import annotations
 
 import random
 
+from repro.harness.parallel import Cell, run_cells
 from repro.harness.runner import build_scheme, replicated_catalog, settle
 from repro.harness.tables import Table
 from repro.workload import ClientPool, WorkloadGenerator, WorkloadSpec
 
 SCHEMES = ("rowaa", "rowa", "quorum", "directories")
+
+
+def plan(
+    seed: int = 0,
+    n_sites: int = 5,
+    replication: int = 3,
+    n_items: int = 20,
+    max_failed: int | None = None,
+    load_duration: float = 400.0,
+    schemes: tuple[str, ...] = SCHEMES,
+) -> list[Cell]:
+    """One cell per (scheme × failed-site count)."""
+    if max_failed is None:
+        max_failed = n_sites - 1
+    spec = WorkloadSpec(n_items=n_items, ops_per_txn=2, write_fraction=0.0)
+    return [
+        Cell(
+            "e1",
+            _one_cell,
+            dict(
+                scheme=scheme, seed=seed, n_sites=n_sites,
+                replication=replication, spec=spec, failed=failed,
+                load_duration=load_duration,
+            ),
+            dict(scheme=scheme, failed=failed),
+        )
+        for scheme in schemes
+        for failed in range(0, max_failed + 1)
+    ]
+
+
+def assemble(
+    cells: list[Cell],
+    results: list,
+    n_sites: int = 5,
+    replication: int = 3,
+    **_params,
+) -> Table:
+    table = Table(
+        "E1: operation availability vs failed sites "
+        f"(n={n_sites}, replication={replication})",
+        ["scheme", "failed", "read_availability", "write_availability", "refused"],
+    )
+    for cell, (read_avail, write_avail, refused) in zip(cells, results):
+        table.add_row(
+            scheme=cell.tag["scheme"],
+            failed=cell.tag["failed"],
+            read_availability=read_avail,
+            write_availability=write_avail,
+            refused=refused,
+        )
+    return table
 
 
 def run(
@@ -34,29 +87,16 @@ def run(
     max_failed: int | None = None,
     load_duration: float = 400.0,
     schemes: tuple[str, ...] = SCHEMES,
+    jobs: int | None = None,
 ) -> Table:
     """Availability table over (scheme × failed-site count)."""
-    if max_failed is None:
-        max_failed = n_sites - 1
-    table = Table(
-        "E1: operation availability vs failed sites "
-        f"(n={n_sites}, replication={replication})",
-        ["scheme", "failed", "read_availability", "write_availability", "refused"],
+    params = dict(
+        seed=seed, n_sites=n_sites, replication=replication, n_items=n_items,
+        max_failed=max_failed, load_duration=load_duration, schemes=schemes,
     )
-    spec = WorkloadSpec(n_items=n_items, ops_per_txn=2, write_fraction=0.0)
-    for scheme in schemes:
-        for failed in range(0, max_failed + 1):
-            read_avail, write_avail, refused = _one_cell(
-                scheme, seed, n_sites, replication, spec, failed, load_duration
-            )
-            table.add_row(
-                scheme=scheme,
-                failed=failed,
-                read_availability=read_avail,
-                write_availability=write_avail,
-                refused=refused,
-            )
-    return table
+    cells = plan(**params)
+    results, _timings = run_cells(cells, jobs=jobs)
+    return assemble(cells, results, **params)
 
 
 def _one_cell(scheme, seed, n_sites, replication, spec, failed, load_duration):

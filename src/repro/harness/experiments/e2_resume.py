@@ -23,11 +23,54 @@ sits at the per-item INCLUDE cost ∝ #items.
 
 from __future__ import annotations
 
+from repro.harness.parallel import Cell, run_cells
 from repro.harness.runner import build_scheme, settle
 from repro.harness.tables import Table
 from repro.workload import WorkloadSpec
 
 SCHEMES = ("rowaa", "spooler", "directories")
+
+
+def plan(
+    seed: int = 0,
+    n_sites: int = 3,
+    n_items: int = 24,
+    missed_updates: tuple[int, ...] = (0, 8, 24, 48),
+    schemes: tuple[str, ...] = SCHEMES,
+    replay_cost: float = 0.5,
+) -> list[Cell]:
+    """One cell per (scheme × missed-update count)."""
+    return [
+        Cell(
+            "e2",
+            _one_cell,
+            dict(
+                scheme=scheme, seed=seed, n_sites=n_sites, n_items=n_items,
+                missed=missed, replay_cost=replay_cost,
+            ),
+            dict(scheme=scheme, missed_updates=missed),
+        )
+        for scheme in schemes
+        for missed in missed_updates
+    ]
+
+
+def assemble(
+    cells: list[Cell], results: list, n_sites: int = 3, n_items: int = 24,
+    **_params,
+) -> Table:
+    table = Table(
+        f"E2: recovery latency vs updates missed (n={n_sites}, items={n_items})",
+        ["scheme", "missed_updates", "t_operational", "t_caught_up"],
+    )
+    for cell, (t_op, t_caught) in zip(cells, results):
+        table.add_row(
+            scheme=cell.tag["scheme"],
+            missed_updates=cell.tag["missed_updates"],
+            t_operational=t_op,
+            t_caught_up=t_caught,
+        )
+    return table
 
 
 def run(
@@ -37,24 +80,16 @@ def run(
     missed_updates: tuple[int, ...] = (0, 8, 24, 48),
     schemes: tuple[str, ...] = SCHEMES,
     replay_cost: float = 0.5,
+    jobs: int | None = None,
 ) -> Table:
     """Resume/caught-up latency over (scheme × missed updates)."""
-    table = Table(
-        f"E2: recovery latency vs updates missed (n={n_sites}, items={n_items})",
-        ["scheme", "missed_updates", "t_operational", "t_caught_up"],
+    params = dict(
+        seed=seed, n_sites=n_sites, n_items=n_items,
+        missed_updates=missed_updates, schemes=schemes, replay_cost=replay_cost,
     )
-    for scheme in schemes:
-        for missed in missed_updates:
-            t_op, t_caught = _one_cell(
-                scheme, seed, n_sites, n_items, missed, replay_cost
-            )
-            table.add_row(
-                scheme=scheme,
-                missed_updates=missed,
-                t_operational=t_op,
-                t_caught_up=t_caught,
-            )
-    return table
+    cells = plan(**params)
+    results, _timings = run_cells(cells, jobs=jobs)
+    return assemble(cells, results, **params)
 
 
 def _write_program(item, value):

@@ -20,6 +20,7 @@ from __future__ import annotations
 import random
 
 from repro.harness.metrics import mean, network_totals, tm_totals
+from repro.harness.parallel import Cell, run_cells
 from repro.harness.runner import build_scheme
 from repro.harness.tables import Table
 from repro.workload import ClientPool, WorkloadGenerator, WorkloadSpec
@@ -27,7 +28,7 @@ from repro.workload import ClientPool, WorkloadGenerator, WorkloadSpec
 SCHEMES = ("rowaa", "naive")
 
 
-def run(
+def plan(
     seed: int = 0,
     site_counts: tuple[int, ...] = (3, 5, 7),
     n_items: int = 24,
@@ -35,14 +36,26 @@ def run(
     n_clients: int = 6,
     repeats: int = 3,
     schemes: tuple[str, ...] = SCHEMES,
-) -> Table:
-    """Overhead table over (scheme × site count), no failures.
+) -> list[Cell]:
+    """``repeats`` cells per (scheme × site count) row."""
+    return [
+        Cell(
+            "e3",
+            _one_cell,
+            dict(
+                scheme=scheme, seed=seed + 1000 * rep, n_sites=n_sites,
+                n_items=n_items, load_duration=load_duration,
+                n_clients=n_clients,
+            ),
+            dict(scheme=scheme, sites=n_sites, rep=rep),
+        )
+        for scheme in schemes
+        for n_sites in site_counts
+        for rep in range(repeats)
+    ]
 
-    Each cell averages ``repeats`` seeds: under contention, scheduling
-    noise (a few extra zero-latency local events shift lock-grant
-    interleavings) swings single runs by ~10%, drowning the effect being
-    measured.
-    """
+
+def assemble(cells: list[Cell], results: list, **_params) -> Table:
     table = Table(
         "E3: failure-free overhead of the session-number machinery",
         [
@@ -54,26 +67,48 @@ def run(
             "committed",
         ],
     )
-    for scheme in schemes:
-        for n_sites in site_counts:
-            cells = [
-                _one_cell(
-                    scheme, seed + 1000 * rep, n_sites, n_items, load_duration,
-                    n_clients,
-                )
-                for rep in range(repeats)
-            ]
-            table.add_row(
-                scheme=scheme,
-                sites=n_sites,
-                throughput=mean([cell["throughput"] for cell in cells]),
-                mean_latency=mean([cell["mean_latency"] for cell in cells]),
-                msgs_per_commit=mean(
-                    [cell["msgs_per_commit"] or 0.0 for cell in cells]
-                ),
-                committed=sum(cell["committed"] for cell in cells),
-            )
+    # Average the repeat cells of each (scheme, sites) row, in plan order.
+    groups: dict[tuple, list[dict]] = {}
+    for cell, result in zip(cells, results):
+        key = (cell.tag["scheme"], cell.tag["sites"])
+        groups.setdefault(key, []).append(result)
+    for (scheme, n_sites), reps in groups.items():
+        table.add_row(
+            scheme=scheme,
+            sites=n_sites,
+            throughput=mean([rep["throughput"] for rep in reps]),
+            mean_latency=mean([rep["mean_latency"] for rep in reps]),
+            msgs_per_commit=mean([rep["msgs_per_commit"] or 0.0 for rep in reps]),
+            committed=sum(rep["committed"] for rep in reps),
+        )
     return table
+
+
+def run(
+    seed: int = 0,
+    site_counts: tuple[int, ...] = (3, 5, 7),
+    n_items: int = 24,
+    load_duration: float = 600.0,
+    n_clients: int = 6,
+    repeats: int = 3,
+    schemes: tuple[str, ...] = SCHEMES,
+    jobs: int | None = None,
+) -> Table:
+    """Overhead table over (scheme × site count), no failures.
+
+    Each row averages ``repeats`` seeds: under contention, scheduling
+    noise (a few extra zero-latency local events shift lock-grant
+    interleavings) swings single runs by ~10%, drowning the effect being
+    measured.
+    """
+    params = dict(
+        seed=seed, site_counts=site_counts, n_items=n_items,
+        load_duration=load_duration, n_clients=n_clients, repeats=repeats,
+        schemes=schemes,
+    )
+    cells = plan(**params)
+    results, _timings = run_cells(cells, jobs=jobs)
+    return assemble(cells, results, **params)
 
 
 def _one_cell(scheme, seed, n_sites, n_items, load_duration, n_clients):

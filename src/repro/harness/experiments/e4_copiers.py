@@ -22,22 +22,42 @@ from __future__ import annotations
 import random
 
 from repro.core.config import RowaaConfig
-from repro.harness.runner import build_scheme, settle
+from repro.harness.parallel import Cell, run_cells
+from repro.harness.runner import build_scheme, cell_seed, settle
 from repro.harness.tables import Table
 from repro.workload import ClientPool, WorkloadGenerator, WorkloadSpec
 
 MODES = ("eager", "demand", "both", "none")
 
 
-def run(
+def plan(
     seed: int = 0,
     n_sites: int = 3,
     n_items: int = 24,
     stale_fraction: float = 0.5,
     read_duration: float = 600.0,
     modes: tuple[str, ...] = MODES,
+) -> list[Cell]:
+    """One cell per copier mode."""
+    return [
+        Cell(
+            "e4",
+            _one_cell,
+            dict(
+                seed=seed, n_sites=n_sites, n_items=n_items,
+                stale_fraction=stale_fraction, read_duration=read_duration,
+                mode=mode,
+            ),
+            dict(mode=mode),
+        )
+        for mode in modes
+    ]
+
+
+def assemble(
+    cells: list[Cell], results: list, n_items: int = 24,
+    stale_fraction: float = 0.5, **_params,
 ) -> Table:
-    """Copier-strategy table."""
     table = Table(
         f"E4: copier scheduling (items={n_items}, stale={stale_fraction:.0%})",
         [
@@ -48,10 +68,28 @@ def run(
             "version_skips",
         ],
     )
-    for mode in modes:
-        table.add_row(mode=mode, **_one_cell(seed, n_sites, n_items, stale_fraction,
-                                             read_duration, mode))
+    for cell, result in zip(cells, results):
+        table.add_row(mode=cell.tag["mode"], **result)
     return table
+
+
+def run(
+    seed: int = 0,
+    n_sites: int = 3,
+    n_items: int = 24,
+    stale_fraction: float = 0.5,
+    read_duration: float = 600.0,
+    modes: tuple[str, ...] = MODES,
+    jobs: int | None = None,
+) -> Table:
+    """Copier-strategy table."""
+    params = dict(
+        seed=seed, n_sites=n_sites, n_items=n_items,
+        stale_fraction=stale_fraction, read_duration=read_duration, modes=modes,
+    )
+    cells = plan(**params)
+    results, _timings = run_cells(cells, jobs=jobs)
+    return assemble(cells, results, **params)
 
 
 def _write_program(item, value):
@@ -65,7 +103,7 @@ def _one_cell(seed, n_sites, n_items, stale_fraction, read_duration, mode):
     spec = WorkloadSpec(n_items=n_items, ops_per_txn=2, write_fraction=0.0)
     rowaa_config = RowaaConfig(copier_mode=mode, unreadable_policy="redirect")
     kernel, system = build_scheme(
-        "rowaa", seed * 17 + hash(mode) % 1000, n_sites, spec.initial_items(),
+        "rowaa", cell_seed("e4", seed, mode), n_sites, spec.initial_items(),
         rowaa_config=rowaa_config,
     )
     victim = n_sites

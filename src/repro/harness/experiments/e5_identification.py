@@ -19,11 +19,51 @@ the gap closes as the update fraction approaches 1.
 from __future__ import annotations
 
 from repro.core.config import RowaaConfig
-from repro.harness.runner import build_scheme, settle
+from repro.harness.parallel import Cell, run_cells
+from repro.harness.runner import build_scheme, cell_seed, settle
 from repro.harness.tables import Table
 from repro.workload import WorkloadSpec
 
 POLICIES = ("mark-all", "mark-all-no-skip", "fail-locks", "missing-lists")
+
+
+def plan(
+    seed: int = 0,
+    n_sites: int = 3,
+    n_items: int = 24,
+    update_fractions: tuple[float, ...] = (0.125, 0.5, 1.0),
+    policies: tuple[str, ...] = POLICIES,
+) -> list[Cell]:
+    """One cell per (policy × update fraction)."""
+    return [
+        Cell(
+            "e5",
+            _one_cell,
+            dict(
+                seed=seed, n_sites=n_sites, n_items=n_items,
+                fraction=fraction, policy=policy,
+            ),
+            dict(policy=policy, updated_fraction=fraction),
+        )
+        for policy in policies
+        for fraction in update_fractions
+    ]
+
+
+def assemble(
+    cells: list[Cell], results: list, n_items: int = 24, **_params
+) -> Table:
+    table = Table(
+        f"E5: out-of-date identification (items={n_items})",
+        ["policy", "updated_fraction", "marked", "data_transfers", "version_skips"],
+    )
+    for cell, result in zip(cells, results):
+        table.add_row(
+            policy=cell.tag["policy"],
+            updated_fraction=cell.tag["updated_fraction"],
+            **result,
+        )
+    return table
 
 
 def run(
@@ -32,20 +72,16 @@ def run(
     n_items: int = 24,
     update_fractions: tuple[float, ...] = (0.125, 0.5, 1.0),
     policies: tuple[str, ...] = POLICIES,
+    jobs: int | None = None,
 ) -> Table:
     """Recovery work table over (policy × update fraction)."""
-    table = Table(
-        f"E5: out-of-date identification (items={n_items})",
-        ["policy", "updated_fraction", "marked", "data_transfers", "version_skips"],
+    params = dict(
+        seed=seed, n_sites=n_sites, n_items=n_items,
+        update_fractions=update_fractions, policies=policies,
     )
-    for policy in policies:
-        for fraction in update_fractions:
-            table.add_row(
-                policy=policy,
-                updated_fraction=fraction,
-                **_one_cell(seed, n_sites, n_items, fraction, policy),
-            )
-    return table
+    cells = plan(**params)
+    results, _timings = run_cells(cells, jobs=jobs)
+    return assemble(cells, results, **params)
 
 
 def _write_program(item, value):
@@ -64,7 +100,7 @@ def _one_cell(seed, n_sites, n_items, fraction, policy):
     )
     spec = WorkloadSpec(n_items=n_items)
     kernel, system = build_scheme(
-        "rowaa", seed * 29 + hash(policy) % 997, n_sites, spec.initial_items(),
+        "rowaa", cell_seed("e5", seed, policy), n_sites, spec.initial_items(),
         rowaa_config=rowaa_config,
     )
     victim = n_sites

@@ -27,6 +27,7 @@ from __future__ import annotations
 import random
 
 from repro.harness.metrics import mean
+from repro.harness.parallel import Cell, run_cells
 from repro.harness.runner import build_scheme, settle
 from repro.harness.tables import Table
 from repro.workload import WorkloadSpec
@@ -34,14 +35,32 @@ from repro.workload import WorkloadSpec
 SCENARIOS = ("single", "crash-during-t1", "last-survivor", "cascade")
 
 
-def run(
+def plan(
     seed: int = 0,
     trials: int = 5,
     n_sites: int = 4,
     n_items: int = 8,
     scenarios: tuple[str, ...] = SCENARIOS,
+) -> list[Cell]:
+    """``trials`` cells per scenario; a cell returns recovery records."""
+    return [
+        Cell(
+            "e6",
+            _one_trial,
+            dict(
+                scenario=scenario, seed=seed * 1000 + trial,
+                n_sites=n_sites, n_items=n_items,
+            ),
+            dict(scenario=scenario, trial=trial),
+        )
+        for scenario in scenarios
+        for trial in range(trials)
+    ]
+
+
+def assemble(
+    cells: list[Cell], results: list, trials: int = 5, **_params
 ) -> Table:
-    """Resilience table over scenarios."""
     table = Table(
         f"E6: recovery under multiple failures ({trials} trials each)",
         [
@@ -53,12 +72,10 @@ def run(
             "type2_by_recoverer",
         ],
     )
-    for scenario in scenarios:
-        outcomes = [
-            _one_trial(scenario, seed * 1000 + trial, n_sites, n_items)
-            for trial in range(trials)
-        ]
-        records = [record for trial_records in outcomes for record in trial_records]
+    groups: dict[str, list] = {}
+    for cell, trial_records in zip(cells, results):
+        groups.setdefault(cell.tag["scenario"], []).extend(trial_records)
+    for scenario, records in groups.items():
         table.add_row(
             scenario=scenario,
             trials=trials,
@@ -68,6 +85,24 @@ def run(
             type2_by_recoverer=sum(record.type2_runs for record in records),
         )
     return table
+
+
+def run(
+    seed: int = 0,
+    trials: int = 5,
+    n_sites: int = 4,
+    n_items: int = 8,
+    scenarios: tuple[str, ...] = SCENARIOS,
+    jobs: int | None = None,
+) -> Table:
+    """Resilience table over scenarios."""
+    params = dict(
+        seed=seed, trials=trials, n_sites=n_sites, n_items=n_items,
+        scenarios=scenarios,
+    )
+    cells = plan(**params)
+    results, _timings = run_cells(cells, jobs=jobs)
+    return assemble(cells, results, **params)
 
 
 def _one_trial(scenario, seed, n_sites, n_items):

@@ -17,6 +17,7 @@ and one INCLUDE per item).
 
 from __future__ import annotations
 
+from repro.harness.parallel import Cell, run_cells
 from repro.harness.runner import build_scheme, settle
 from repro.harness.tables import Table
 from repro.workload import WorkloadSpec
@@ -24,25 +25,49 @@ from repro.workload import WorkloadSpec
 SCHEMES = ("rowaa", "rowaa-faillocks", "directories")
 
 
+def plan(
+    seed: int = 0,
+    n_sites: int = 3,
+    item_counts: tuple[int, ...] = (4, 16, 48),
+    schemes: tuple[str, ...] = SCHEMES,
+) -> list[Cell]:
+    """One cell per (scheme × database size)."""
+    return [
+        Cell(
+            "e7",
+            _one_cell,
+            dict(scheme=scheme, seed=seed, n_sites=n_sites, n_items=n_items),
+            dict(scheme=scheme, items=n_items),
+        )
+        for scheme in schemes
+        for n_items in item_counts
+    ]
+
+
+def assemble(cells: list[Cell], results: list, **_params) -> Table:
+    table = Table(
+        "E7: control cost of one crash + one recovery (no user load)",
+        ["scheme", "items", "status_txns", "remote_messages"],
+    )
+    for cell, result in zip(cells, results):
+        table.add_row(scheme=cell.tag["scheme"], items=cell.tag["items"], **result)
+    return table
+
+
 def run(
     seed: int = 0,
     n_sites: int = 3,
     item_counts: tuple[int, ...] = (4, 16, 48),
     schemes: tuple[str, ...] = SCHEMES,
+    jobs: int | None = None,
 ) -> Table:
     """Status-maintenance cost over (scheme × database size)."""
-    table = Table(
-        "E7: control cost of one crash + one recovery (no user load)",
-        ["scheme", "items", "status_txns", "remote_messages"],
+    params = dict(
+        seed=seed, n_sites=n_sites, item_counts=item_counts, schemes=schemes,
     )
-    for scheme in schemes:
-        for n_items in item_counts:
-            table.add_row(
-                scheme=scheme,
-                items=n_items,
-                **_one_cell(scheme, seed, n_sites, n_items),
-            )
-    return table
+    cells = plan(**params)
+    results, _timings = run_cells(cells, jobs=jobs)
+    return assemble(cells, results, **params)
 
 
 def _one_cell(scheme, seed, n_sites, n_items):

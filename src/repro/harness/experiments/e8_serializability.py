@@ -21,6 +21,7 @@ from __future__ import annotations
 import random
 
 from repro.core.nominal import db_item_filter
+from repro.harness.parallel import Cell, run_cells
 from repro.harness.runner import build_scheme, quiesce
 from repro.harness.tables import Table
 from repro.histories import check_one_sr, check_theorem3
@@ -32,6 +33,52 @@ Theorem 3 is stated for a *class* of concurrency controls, so it must
 hold there too."""
 
 
+def plan(
+    seed: int = 0,
+    trials: int = 4,
+    n_sites: int = 3,
+    n_items: int = 8,
+    duration: float = 800.0,
+    schemes: tuple[str, ...] = SCHEMES,
+) -> list[Cell]:
+    """``trials`` cells per scheme; checks run inside the cell so the
+    result is a small verdict dict, not a whole history recorder."""
+    return [
+        Cell(
+            "e8",
+            _one_trial,
+            dict(
+                scheme=scheme, seed=seed * 7919 + trial,
+                n_sites=n_sites, n_items=n_items, duration=duration,
+            ),
+            dict(scheme=scheme, trial=trial),
+        )
+        for scheme in schemes
+        for trial in range(trials)
+    ]
+
+
+def assemble(
+    cells: list[Cell], results: list, trials: int = 4, **_params
+) -> Table:
+    table = Table(
+        f"E8: one-serializability under failures ({trials} random runs each)",
+        ["scheme", "runs", "committed_txns", "one_sr_ok", "theorem3_ok"],
+    )
+    groups: dict[str, list[dict]] = {}
+    for cell, verdict in zip(cells, results):
+        groups.setdefault(cell.tag["scheme"], []).append(verdict)
+    for scheme, verdicts in groups.items():
+        table.add_row(
+            scheme=scheme,
+            runs=len(verdicts),
+            committed_txns=sum(v["committed"] for v in verdicts),
+            one_sr_ok=sum(1 for v in verdicts if v["one_sr"]),
+            theorem3_ok=sum(1 for v in verdicts if v["theorem3"]),
+        )
+    return table
+
+
 def run(
     seed: int = 0,
     trials: int = 4,
@@ -39,32 +86,25 @@ def run(
     n_items: int = 8,
     duration: float = 800.0,
     schemes: tuple[str, ...] = SCHEMES,
+    jobs: int | None = None,
 ) -> Table:
     """Serializability verdicts over (scheme × random trials)."""
-    table = Table(
-        f"E8: one-serializability under failures ({trials} random runs each)",
-        ["scheme", "runs", "committed_txns", "one_sr_ok", "theorem3_ok"],
+    params = dict(
+        seed=seed, trials=trials, n_sites=n_sites, n_items=n_items,
+        duration=duration, schemes=schemes,
     )
-    for scheme in schemes:
-        one_sr_ok = theorem3_ok = committed = 0
-        for trial in range(trials):
-            run_seed = seed * 7919 + trial
-            recorder, run_committed = _one_run(
-                scheme, run_seed, n_sites, n_items, duration
-            )
-            committed += run_committed
-            if check_one_sr(recorder, item_filter=db_item_filter).ok:
-                one_sr_ok += 1
-            if check_theorem3(recorder).ok:
-                theorem3_ok += 1
-        table.add_row(
-            scheme=scheme,
-            runs=trials,
-            committed_txns=committed,
-            one_sr_ok=one_sr_ok,
-            theorem3_ok=theorem3_ok,
-        )
-    return table
+    cells = plan(**params)
+    results, _timings = run_cells(cells, jobs=jobs)
+    return assemble(cells, results, **params)
+
+
+def _one_trial(scheme, seed, n_sites, n_items, duration):
+    recorder, committed = _one_run(scheme, seed, n_sites, n_items, duration)
+    return {
+        "committed": committed,
+        "one_sr": check_one_sr(recorder, item_filter=db_item_filter).ok,
+        "theorem3": check_theorem3(recorder).ok,
+    }
 
 
 def _one_run(scheme, seed, n_sites, n_items, duration):

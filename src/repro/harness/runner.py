@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 import typing
 
 from repro.baselines import (
@@ -14,6 +15,7 @@ from repro.baselines import (
 )
 from repro.net.latency import ConstantLatency
 from repro.sim.kernel import Kernel
+from repro.sim.rng import RngRegistry
 from repro.storage.catalog import Catalog
 from repro.system import DatabaseSystem
 from repro.txn.config import TxnConfig
@@ -59,12 +61,30 @@ def build_scheme(
 def replicated_catalog(
     n_sites: int, items: typing.Iterable[str], replication: int, seed: int
 ) -> Catalog:
-    """Random ``replication``-way placement over ``n_sites``."""
-    import random
+    """Random ``replication``-way placement over ``n_sites``.
 
+    The placement draws from a dedicated :class:`RngRegistry` stream, so
+    it is independent of every other consumer of randomness: the same
+    seed yields the same catalog no matter what else an experiment draws
+    before or after building it.
+    """
+    rng = RngRegistry(seed).stream("harness.placement")
     return Catalog.random_placement(
-        list(range(1, n_sites + 1)), items, replication, random.Random(seed)
+        list(range(1, n_sites + 1)), items, replication, rng
     )
+
+
+def cell_seed(*parts: object) -> int:
+    """Deterministic seed for one experiment cell.
+
+    Unlike ``hash()``, whose value for strings is salted per interpreter
+    (``PYTHONHASHSEED``), this is stable across processes and runs — a
+    cell gets the same seed whether it executes serially, inside a
+    worker pool, or in a fresh interpreter tomorrow.
+    """
+    text = ":".join(str(part) for part in parts)
+    digest = hashlib.sha256(text.encode()).digest()
+    return int.from_bytes(digest[:4], "big")
 
 
 def settle(kernel: Kernel, system: DatabaseSystem, duration: float) -> None:

@@ -22,7 +22,7 @@ from repro.errors import Interrupt, NetworkError, ReproError, RpcTimeout
 from repro.net.messages import Message
 from repro.net.network import Endpoint, Network
 from repro.sim.events import Future
-from repro.sim.kernel import Kernel
+from repro.sim.kernel import Callback, Kernel
 from repro.sim.process import Process
 
 Handler = typing.Callable[[object, int], object]
@@ -47,7 +47,12 @@ class RpcNode:
         self.site_id = site_id
         self.endpoint: Endpoint = network.attach(site_id)
         self._handlers: dict[str, Handler] = {}
-        self._pending: dict[int, Future] = {}
+        #: msg_id -> (reply future, expiry timer or None). The timer is a
+        #: lazily-cancelled kernel callback: when the reply wins the race
+        #: (the overwhelmingly common case) it is cancelled in O(1) and
+        #: skipped when its heap entry surfaces, instead of firing into a
+        #: dead ``_pending`` entry.
+        self._pending: dict[int, tuple[Future, Callback | None]] = {}
         self._dispatcher: Process | None = None
         self._servers: set[Process] = set()
 
@@ -78,6 +83,9 @@ class RpcNode:
             if server.is_alive:
                 server.interrupt("stop")
         self._servers.clear()
+        for _future, timer in self._pending.values():
+            if timer is not None:
+                timer.cancel()
         self._pending.clear()
 
     # -- handler registry ------------------------------------------------------
@@ -106,12 +114,13 @@ class RpcNode:
         """
         msg = Message(src=self.site_id, dst=dst, kind=kind, payload=payload)
         future = Future(self.kernel, name=f"rpc:{kind}->{dst}").defuse()
-        self._pending[msg.msg_id] = future
+        timer = (
+            self.kernel.schedule_callback(timeout, self._expire, msg.msg_id, dst, kind)
+            if timeout is not None
+            else None
+        )
+        self._pending[msg.msg_id] = (future, timer)
         self.network.send(msg)
-        if timeout is not None:
-            self.kernel.timeout(timeout).add_callback(
-                lambda _ev, mid=msg.msg_id: self._expire(mid, dst, kind)
-            )
         return future
 
     def call_many(
@@ -125,9 +134,9 @@ class RpcNode:
         return [(dst, self.call(dst, kind, payload, timeout)) for dst in dsts]
 
     def _expire(self, msg_id: int, dst: int, kind: str) -> None:
-        future = self._pending.pop(msg_id, None)
-        if future is not None and not future.triggered:
-            future.fail(RpcTimeout(dst, kind))
+        entry = self._pending.pop(msg_id, None)
+        if entry is not None and not entry[0].triggered:
+            entry[0].fail(RpcTimeout(dst, kind))
 
     # -- server side -----------------------------------------------------------
 
@@ -141,9 +150,14 @@ class RpcNode:
 
     def _complete_call(self, msg: Message) -> None:
         assert msg.reply_to is not None
-        future = self._pending.pop(msg.reply_to, None)
-        if future is None or future.triggered:
+        entry = self._pending.pop(msg.reply_to, None)
+        if entry is None:
             return  # late reply for a timed-out or pre-crash request
+        future, timer = entry
+        if timer is not None:
+            timer.cancel()
+        if future.triggered:
+            return
         ok, value = msg.payload
         if ok:
             future.succeed(value)

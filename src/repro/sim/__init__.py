@@ -18,7 +18,7 @@ Ties in time are broken by scheduling sequence number.
 """
 
 from repro.sim.events import AllOf, AnyOf, Future, Timeout
-from repro.sim.kernel import Kernel
+from repro.sim.kernel import Callback, Kernel
 from repro.sim.process import Process
 from repro.sim.queue import Queue
 from repro.sim.rng import RngRegistry
@@ -26,6 +26,7 @@ from repro.sim.rng import RngRegistry
 __all__ = [
     "AllOf",
     "AnyOf",
+    "Callback",
     "Future",
     "Kernel",
     "Process",

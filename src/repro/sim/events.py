@@ -12,6 +12,7 @@ Processes wait on futures by yielding them; composite futures
 from __future__ import annotations
 
 import typing
+from heapq import heappush as _heappush
 
 from repro.errors import SimError
 
@@ -19,6 +20,20 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.kernel import Kernel
 
 _PENDING = object()
+
+#: Shared sentinel for "no callbacks registered yet". Futures are created
+#: by the hundred-thousand and most (timeouts, fire-and-forget sends)
+#: never receive a callback, so the per-instance list is allocated lazily
+#: on the first ``add_callback``. ``None`` still means "already processed".
+_NO_CALLBACKS: tuple = ()
+
+# Bit flags packed into the single ``_flags`` slot: one attribute store at
+# construction instead of three, on objects created hundreds of thousands
+# of times per run. The kernel's drain loop reads ``_flags & F_CANCELLED``
+# directly on every heap entry.
+F_PROCESSED = 1
+F_DEFUSED = 2
+F_CANCELLED = 4
 
 
 class Future:
@@ -38,8 +53,7 @@ class Future:
         "_value",
         "_exc",
         "_callbacks",
-        "_processed",
-        "_defused",
+        "_flags",
         "_abandon_hook",
     )
 
@@ -48,9 +62,8 @@ class Future:
         self.name = name
         self._value: object = _PENDING
         self._exc: BaseException | None = None
-        self._callbacks: list[typing.Callable[[Future], None]] | None = []
-        self._processed = False
-        self._defused = False
+        self._callbacks: typing.Sequence[typing.Callable[[Future], None]] | None = _NO_CALLBACKS
+        self._flags = 0
         self._abandon_hook: typing.Callable[[Future], None] | None = None
 
     # -- state ------------------------------------------------------------
@@ -63,7 +76,7 @@ class Future:
     @property
     def processed(self) -> bool:
         """True once the kernel has run this future's callbacks."""
-        return self._processed
+        return (self._flags & F_PROCESSED) != 0
 
     @property
     def ok(self) -> bool:
@@ -91,14 +104,15 @@ class Future:
         raises :class:`~repro.errors.UnhandledFailure` in the kernel loop;
         defusing suppresses that check (e.g. fire-and-forget sends).
         """
-        self._defused = True
+        self._flags |= F_DEFUSED
         return self
 
     # -- triggering --------------------------------------------------------
 
     def succeed(self, value: object = None, delay: float = 0.0) -> "Future":
         """Trigger the future with ``value``; callbacks run after ``delay``."""
-        self._require_untriggered()
+        if self._callbacks is None or self._value is not _PENDING or self._exc is not None:
+            raise SimError(f"{self!r} has already been triggered")
         self._value = value
         self.kernel._schedule(self, delay)
         return self
@@ -107,15 +121,12 @@ class Future:
         """Trigger the future with exception ``exc``."""
         if not isinstance(exc, BaseException):
             raise TypeError(f"fail() requires an exception, got {exc!r}")
-        self._require_untriggered()
+        if self._callbacks is None or self._value is not _PENDING or self._exc is not None:
+            raise SimError(f"{self!r} has already been triggered")
         self._exc = exc
         self._value = None
         self.kernel._schedule(self, delay)
         return self
-
-    def _require_untriggered(self) -> None:
-        if self.triggered:
-            raise SimError(f"{self!r} has already been triggered")
 
     # -- callbacks ---------------------------------------------------------
 
@@ -126,16 +137,21 @@ class Future:
         to run immediately (at the current virtual time) rather than being
         invoked synchronously, preserving run-to-completion semantics.
         """
-        if self._processed:
+        if self._flags & F_PROCESSED:
             self.kernel.call_soon(fn, self)
+            return
+        callbacks = self._callbacks
+        assert callbacks is not None
+        if callbacks is _NO_CALLBACKS:
+            self._callbacks = [fn]
         else:
-            assert self._callbacks is not None
-            self._callbacks.append(fn)
+            callbacks.append(fn)  # type: ignore[union-attr]
 
     def remove_callback(self, fn: typing.Callable[["Future"], None]) -> None:
         """Remove a previously added callback; no-op if absent."""
-        if self._callbacks is not None and fn in self._callbacks:
-            self._callbacks.remove(fn)
+        callbacks = self._callbacks
+        if callbacks and fn in callbacks:
+            callbacks.remove(fn)  # type: ignore[union-attr]
 
     def on_abandoned(self, hook: typing.Callable[["Future"], None]) -> None:
         """Register a hook called if the last waiter detaches before trigger.
@@ -159,15 +175,15 @@ class Future:
     # -- kernel hook --------------------------------------------------------
 
     def _process(self) -> None:
-        callbacks = self._callbacks or []
+        callbacks = self._callbacks
         self._callbacks = None
-        self._processed = True
-        if self._exc is not None and not callbacks and not self._defused:
+        self._flags |= F_PROCESSED
+        if callbacks:
+            for fn in callbacks:
+                fn(self)
+        elif self._exc is not None and not self._flags & F_DEFUSED:
             # Nobody is listening for this failure: surface it loudly.
             self.kernel._report_unhandled(self)
-            return
-        for fn in callbacks:
-            fn(self)
 
     def __repr__(self) -> str:
         label = self.name or self.__class__.__name__
@@ -181,16 +197,55 @@ class Future:
 
 
 class Timeout(Future):
-    """A future that succeeds automatically ``delay`` time units from now."""
+    """A future that succeeds automatically ``delay`` time units from now.
+
+    Construction is a hot path (one per RPC wait, per think-time pause,
+    per retry backoff), so the constructor writes the slots directly and
+    schedules itself without going through :meth:`Future.succeed`'s
+    already-triggered check — a fresh timeout is untriggered by
+    construction.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, kernel: "Kernel", delay: float, value: object = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(kernel, name=f"Timeout({delay})")
+        self.kernel = kernel
+        self.name = ""
+        self._value = value
+        self._exc = None
+        self._callbacks = _NO_CALLBACKS
+        self._flags = 0
+        self._abandon_hook = None
         self.delay = delay
-        self.succeed(value, delay=delay)
+        _heappush(kernel._heap, (kernel._now + delay, kernel._seq, self))
+        kernel._seq += 1
+
+    def cancel(self) -> None:
+        """Lazily cancel the timeout: it never fires, callbacks never run.
+
+        The heap entry is skipped when popped instead of being removed
+        eagerly, so cancellation is O(1). Only meaningful before the
+        timeout fires, and only when no process is waiting on it (a
+        waiter would never be resumed).
+        """
+        if not self._flags & F_PROCESSED:
+            self._flags |= F_CANCELLED
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been called."""
+        return (self._flags & F_CANCELLED) != 0
+
+    def __repr__(self) -> str:
+        if self._flags & F_CANCELLED:
+            state = "cancelled"
+        elif not self._flags & F_PROCESSED:
+            state = "pending"
+        else:
+            state = f"ok({self._value!r})"
+        return f"<Timeout({self.delay}) {state}>"
 
 
 class AllOf(Future):

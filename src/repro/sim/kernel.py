@@ -6,9 +6,48 @@ import heapq
 import typing
 
 from repro.errors import SimError, UnhandledFailure
-from repro.sim.events import Future, Timeout
+from repro.sim.events import F_CANCELLED, Future, Timeout
 from repro.sim.process import Process
 from repro.sim.rng import RngRegistry
+
+
+class Callback:
+    """A lightweight scheduled callback: a heap entry, not a future.
+
+    Hot paths (``call_soon``, RPC timeout expiry, lock wait backstops)
+    schedule thousands of these per simulated second; unlike a
+    :class:`~repro.sim.events.Future` there is no name, no value, no
+    callback list and no unhandled-failure bookkeeping — just a function
+    and its arguments.
+
+    ``cancel()`` is lazy: the entry stays in the heap and is skipped when
+    it reaches the top, which is O(1) instead of an O(n) re-heapify. This
+    is what makes per-call RPC timeouts affordable — the common case is a
+    reply arriving first and the timer dying untouched.
+    """
+
+    __slots__ = ("fn", "args", "_flags")
+
+    def __init__(self, fn: typing.Callable[..., None], args: tuple) -> None:
+        self.fn = fn
+        self.args = args
+        self._flags = 0
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been called."""
+        return (self._flags & F_CANCELLED) != 0
+
+    def cancel(self) -> None:
+        """Prevent the callback from running; safe to call repeatedly."""
+        self._flags = F_CANCELLED
+
+    def _process(self) -> None:
+        self.fn(*self.args)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self._flags & F_CANCELLED else "scheduled"
+        return f"<Callback {getattr(self.fn, '__name__', self.fn)!r} {state}>"
 
 
 class Kernel:
@@ -27,10 +66,13 @@ class Kernel:
 
     def __init__(self, seed: int = 0) -> None:
         self._now = 0.0
-        self._heap: list[tuple[float, int, Future]] = []
+        self._heap: list[tuple[float, int, Future | Callback]] = []
         self._seq = 0
         self.rng = RngRegistry(seed)
         self._unhandled: list[Future] = []
+        #: Count of entries processed by :meth:`step` (skipped cancelled
+        #: entries excluded); the events/sec basis of the perf trajectory.
+        self.events_processed = 0
 
     # -- clock ---------------------------------------------------------------
 
@@ -41,20 +83,33 @@ class Kernel:
 
     # -- scheduling ------------------------------------------------------------
 
-    def _schedule(self, event: Future, delay: float = 0.0) -> None:
+    def _schedule(self, event: Future | Callback, delay: float = 0.0) -> None:
         if delay < 0:
             raise SimError(f"cannot schedule into the past (delay={delay})")
         heapq.heappush(self._heap, (self._now + delay, self._seq, event))
         self._seq += 1
 
+    def schedule_callback(
+        self, delay: float, fn: typing.Callable[..., None], *args: object
+    ) -> Callback:
+        """Run ``fn(*args)`` after ``delay``; returns a cancellable handle.
+
+        This is the cheap path for internal machinery (timers that are
+        usually cancelled, zero-delay dispatch). Processes cannot wait on
+        the handle — use :meth:`timeout` for that.
+        """
+        if delay < 0:
+            raise SimError(f"cannot schedule into the past (delay={delay})")
+        entry = Callback(fn, args)
+        heapq.heappush(self._heap, (self._now + delay, self._seq, entry))
+        self._seq += 1
+        return entry
+
     def call_soon(
         self, fn: typing.Callable[..., None], *args: object, delay: float = 0.0
-    ) -> Future:
+    ) -> Callback:
         """Run ``fn(*args)`` at the current time (or after ``delay``)."""
-        event = Future(self, name=f"call_soon({getattr(fn, '__name__', fn)!r})")
-        event.add_callback(lambda _ev: fn(*args))
-        event.succeed(delay=delay)
-        return event
+        return self.schedule_callback(delay, fn, *args)
 
     # -- factories ---------------------------------------------------------------
 
@@ -73,21 +128,38 @@ class Kernel:
     # -- execution -----------------------------------------------------------
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if none."""
-        return self._heap[0][0] if self._heap else float("inf")
+        """Time of the next live scheduled event, or ``inf`` if none.
+
+        Cancelled entries at the top of the heap are discarded as a side
+        effect (they are invisible either way).
+        """
+        heap = self._heap
+        while heap and heap[0][2]._flags & F_CANCELLED:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event, advancing the clock to its time."""
-        if not self._heap:
+        """Process exactly one event, advancing the clock to its time.
+
+        Cancelled entries encountered on the way are discarded without
+        advancing the clock; if only cancelled entries remained, the call
+        returns having processed nothing.
+        """
+        heap = self._heap
+        if not heap:
             raise SimError("step() on an empty event queue")
-        when, _seq, event = heapq.heappop(self._heap)
+        pop = heapq.heappop
+        while True:
+            when, _seq, entry = pop(heap)
+            if not entry._flags & F_CANCELLED:
+                break
+            if not heap:
+                return  # drained nothing but dead timers
         self._now = when
-        event._process()
+        self.events_processed += 1
+        entry._process()
         if self._unhandled:
-            failed = self._unhandled.pop()
-            self._unhandled.clear()
-            exc = failed.exception
-            raise UnhandledFailure(f"unobserved failure in {failed!r}") from exc
+            self._raise_unhandled()
 
     def run(self, until: float | Future | None = None) -> object:
         """Run the event loop.
@@ -102,10 +174,22 @@ class Kernel:
         """
         if isinstance(until, Future):
             return self._run_until_event(until)
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
+        # Inlined drain loop: this is the innermost loop of every
+        # simulation, so the per-event cost of calling step() (attribute
+        # lookups, the empty-heap recheck) is paid millions of times.
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            if until is not None and heap[0][0] > until:
                 break
-            self.step()
+            when, _seq, entry = pop(heap)
+            if entry._flags & F_CANCELLED:
+                continue
+            self._now = when
+            self.events_processed += 1
+            entry._process()
+            if self._unhandled:
+                self._raise_unhandled()
         if until is not None and self._now < until:
             self._now = float(until)
         return None
@@ -122,3 +206,19 @@ class Kernel:
 
     def _report_unhandled(self, event: Future) -> None:
         self._unhandled.append(event)
+
+    def _raise_unhandled(self) -> typing.NoReturn:
+        failed = list(self._unhandled)
+        self._unhandled.clear()
+        primary = failed[0]
+        if len(failed) == 1:
+            message = f"unobserved failure in {primary!r}"
+        else:
+            others = ", ".join(repr(event) for event in failed[1:])
+            message = (
+                f"{len(failed)} unobserved failures in one event: "
+                f"{primary!r} (also: {others})"
+            )
+        error = UnhandledFailure(message)
+        error.failures = tuple(event.exception for event in failed)  # type: ignore[attr-defined]
+        raise error from primary.exception

@@ -42,11 +42,9 @@ class Process(Future):
         super().__init__(kernel, name=name or getattr(generator, "__name__", "process"))
         self._generator = generator
         self._waiting_on: Future | None = None
-        # Kick off on a fresh event so creation order, not call depth,
-        # determines execution order.
-        start = Future(kernel, name=f"start({self.name})")
-        start.add_callback(self._resume)
-        start.succeed()
+        # Kick off on a scheduled callback so creation order, not call
+        # depth, determines execution order.
+        kernel.schedule_callback(0.0, self._start)
 
     @property
     def is_alive(self) -> bool:
@@ -63,11 +61,14 @@ class Process(Future):
         """
         if not self.is_alive:
             raise SimError(f"cannot interrupt finished process {self!r}")
-        interruption = Future(self.kernel, name=f"interrupt({self.name})")
-        interruption.add_callback(self._deliver_interrupt)
-        interruption.succeed(cause)
+        self.kernel.schedule_callback(0.0, self._deliver_interrupt, cause)
 
-    def _deliver_interrupt(self, event: Future) -> None:
+    def _start(self) -> None:
+        if not self.is_alive:
+            return  # interrupted (and failed) before its first step
+        self._step(lambda: self._generator.send(None))
+
+    def _deliver_interrupt(self, cause: object) -> None:
         if not self.is_alive:
             return  # finished between scheduling and delivery
         if self._waiting_on is not None:
@@ -75,7 +76,7 @@ class Process(Future):
             self._waiting_on = None
             target.remove_callback(self._resume)
             target._notify_abandoned_if_orphan()
-        self._step(lambda: self._generator.throw(Interrupt(event.value)))
+        self._step(lambda: self._generator.throw(Interrupt(cause)))
 
     def _resume(self, event: Future) -> None:
         if not self.is_alive:

@@ -22,6 +22,7 @@ class Queue:
     def __init__(self, kernel: "Kernel", name: str = "") -> None:
         self.kernel = kernel
         self.name = name
+        self._get_name = f"get({name})"  # precomputed: get() is a hot path
         self._items: collections.deque = collections.deque()
         self._getters: collections.deque[Future] = collections.deque()
 
@@ -44,7 +45,7 @@ class Queue:
         the getter is forgotten (see :meth:`Future.on_abandoned`) so it
         cannot swallow an item meant for a later consumer.
         """
-        future = Future(self.kernel, name=f"get({self.name})")
+        future = Future(self.kernel, name=self._get_name)
         if self._items:
             future.succeed(self._items.popleft())
         else:

@@ -5,7 +5,7 @@ from __future__ import annotations
 import typing
 
 from repro.storage.copies import Version
-from repro.txn.payloads import FinishRequest, ReadRequest, WriteRequest
+from repro.txn.payloads import BatchReadRequest, FinishRequest, ReadRequest, WriteRequest
 from repro.txn.transaction import Transaction
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -62,6 +62,33 @@ class TxnContext:
         self.txn.touched_sites.add(site_id)
         reply = yield self.tm.rpc.call(
             site_id, "dm.read", request, timeout=self.tm.config.rpc_timeout
+        )
+        return reply
+
+    def dm_read_batch(
+        self,
+        site_id: int,
+        items: typing.Sequence[str],
+        expected: int | None = None,
+        privileged: bool = False,
+    ) -> typing.Generator:
+        """Read several copies at ``site_id`` in one round trip.
+
+        Returns a list of ``(value, version)`` pairs in ``items`` order;
+        semantically one :meth:`dm_read` per item (same locks, checks and
+        history records), minus the per-item RPC cost.
+        """
+        request = BatchReadRequest(
+            txn_id=self.txn.txn_id,
+            txn_seq=self.txn.seq,
+            kind=self.txn.kind.value,
+            items=tuple(items),
+            expected=expected,
+            privileged=privileged,
+        )
+        self.txn.touched_sites.add(site_id)
+        reply = yield self.tm.rpc.call(
+            site_id, "dm.read_batch", request, timeout=self.tm.config.rpc_timeout
         )
         return reply
 

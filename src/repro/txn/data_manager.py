@@ -39,6 +39,7 @@ from repro.storage.copies import Version
 from repro.txn.config import TxnConfig
 from repro.txn.locks import LockManager, LockMode
 from repro.txn.payloads import (
+    BatchReadRequest,
     CommitRequest,
     FinishRequest,
     OutcomeQuery,
@@ -99,6 +100,7 @@ class DataManager:
         self.stats_unreadable_rejections = 0
 
         site.rpc.register("dm.read", self._handle_read)
+        site.rpc.register("dm.read_batch", self._handle_read_batch)
         site.rpc.register("dm.write", self._handle_write)
         site.rpc.register("dm.prepare", self._handle_prepare)
         site.rpc.register("dm.commit", self._handle_commit)
@@ -141,7 +143,9 @@ class DataManager:
             # pre-partition world.
             raise NotOperational(self.site_id)
 
-    def _participation(self, request: ReadRequest | WriteRequest, src: int) -> _Participation:
+    def _participation(
+        self, request: ReadRequest | BatchReadRequest | WriteRequest, src: int
+    ) -> _Participation:
         if request.txn_id in self._decided:
             # A straggler operation of a transaction we already finished
             # (its abort raced this request through the network).
@@ -200,6 +204,57 @@ class DataManager:
             version_commit=copy.version.commit,
         )
         return copy.value, copy.version
+
+    def _handle_read_batch(
+        self, request: BatchReadRequest, src: int
+    ) -> typing.Generator:
+        """Serve several reads of one transaction in a single request.
+
+        Equivalent to the same :class:`ReadRequest` sequence — identical
+        locks, rejections, and history records — but one round trip. The
+        ROWAA begin uses this to snapshot ``NS[*]`` once per transaction.
+        """
+        self._check_access(request.expected, request.privileged)
+        part = self._participation(request, src)
+        results: list[tuple[object, Version]] = []
+        for item in request.items:
+            if request.txn_id in self._decided:
+                # The transaction finished (aborted) while an earlier
+                # acquire in this batch was waiting: its locks are gone,
+                # and acquiring more here would hand locks to a dead
+                # transaction and leak them forever. The unbatched path
+                # hits the same condition in `_participation` on each
+                # per-item request.
+                raise TransactionError(
+                    f"site {self.site_id}: {request.txn_id} already decided"
+                )
+            if item in part.writes:
+                intent = part.writes[item]
+                results.append((intent.value, Version(self.kernel.now, 0, request.txn_seq)))
+                continue
+            yield self.lock_manager.acquire(request.txn_id, item, LockMode.S)
+            if not self.site.copies.has(item):
+                raise TransactionError(f"site {self.site_id} holds no copy of {item}")
+            copy = self.site.copies.get(item)
+            if copy.unreadable:
+                self.stats_unreadable_rejections += 1
+                self.lock_manager.release_one(request.txn_id, item)
+                for hook in list(self.unreadable_read_hooks):
+                    hook(item)
+                raise CopyUnreadable(item, self.site_id)
+            self.recorder.record_read(
+                time=self.kernel.now,
+                txn_id=request.txn_id,
+                txn_seq=request.txn_seq,
+                kind=request.kind,
+                item=item,
+                site=self.site_id,
+                version_seq=copy.version.seq,
+                version_ts=copy.version.ts,
+                version_commit=copy.version.commit,
+            )
+            results.append((copy.value, copy.version))
+        return results
 
     def _handle_write(self, request: WriteRequest, src: int) -> typing.Generator:
         self._check_access(request.expected, request.privileged)

@@ -30,7 +30,7 @@ import typing
 
 from repro.errors import DeadlockDetected
 from repro.sim.events import Future
-from repro.sim.kernel import Kernel
+from repro.sim.kernel import Callback, Kernel
 
 
 class LockMode(enum.Enum):
@@ -46,12 +46,15 @@ class LockMode(enum.Enum):
         return self is LockMode.S and other is LockMode.S
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class _Request:
     txn_id: str
     mode: LockMode
     future: Future
     upgrade: bool = False
+    #: The wait-timeout backstop timer, cancelled lazily when the request
+    #: leaves the queue by any other route (grant, abandon, victim kill).
+    timer: Callback | None = None
 
 
 class _LockState:
@@ -120,8 +123,8 @@ class LockManager:
             state.queue.append(request)
         future.on_abandoned(lambda _fut, it=item, req=request: self._abandon(it, req))
         if self.wait_timeout is not None:
-            self.kernel.timeout(self.wait_timeout).add_callback(
-                lambda _ev, it=item, req=request: self._expire(it, req)
+            request.timer = self.kernel.schedule_callback(
+                self.wait_timeout, self._expire, item, request
             )
         return future
 
@@ -181,6 +184,8 @@ class LockManager:
             victims = [r for r in state.queue if r.txn_id == txn_id]
             for request in victims:
                 state.queue.remove(request)
+                if request.timer is not None:
+                    request.timer.cancel()
                 killed = True
                 if not request.future.triggered:
                     request.future.fail(DeadlockDetected(txn_id))
@@ -243,6 +248,8 @@ class LockManager:
             if not self._compatible_with_holders(state, head):
                 break
             state.queue.popleft()
+            if head.timer is not None:
+                head.timer.cancel()
             state.holders[head.txn_id] = head.mode
             self._held_by_txn.setdefault(head.txn_id, set()).add(item)
             self.stats_grants += 1
@@ -265,6 +272,8 @@ class LockManager:
             state.queue.remove(request)
         except ValueError:
             return
+        if request.timer is not None:
+            request.timer.cancel()
         self._promote_waiters(item, state)
 
     def _expire(self, item: str, request: _Request) -> None:

@@ -86,6 +86,38 @@ class TestFuture:
         with pytest.raises(UnhandledFailure):
             kernel.run()
 
+    def test_unhandled_failure_carries_failures_tuple(self, kernel):
+        fut = kernel.event()
+        boom = RuntimeError("nobody listens")
+        fut.fail(boom)
+        with pytest.raises(UnhandledFailure) as info:
+            kernel.run()
+        assert info.value.failures == (boom,)
+        assert info.value.__cause__ is boom
+
+    def test_multiple_unhandled_failures_aggregate(self, kernel):
+        # Regression: when several failures are reported while one event
+        # is processed, the raised error must carry all of them — the
+        # old code raised for the first and silently dropped the rest.
+        first, second = kernel.event("first"), kernel.event("second")
+        first.defuse()
+        second.defuse()
+        first.fail(RuntimeError("one"))
+        second.fail(ValueError("two"))
+        kernel.run()  # defused: both process silently
+        kernel._report_unhandled(first)
+        kernel._report_unhandled(second)
+        kernel.timeout(0)
+        with pytest.raises(UnhandledFailure) as info:
+            kernel.run()
+        assert "2 unobserved failures" in str(info.value)
+        assert info.value.failures == (first.exception, second.exception)
+        assert info.value.__cause__ is first.exception
+        # The pending list was cleared along with the raise: the kernel
+        # stays usable and does not re-raise stale failures.
+        kernel.timeout(1)
+        kernel.run()
+
     def test_defused_failure_is_silent(self, kernel):
         fut = kernel.event()
         fut.defuse()

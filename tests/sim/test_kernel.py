@@ -72,6 +72,50 @@ class TestCallSoon:
         assert seen == ["a", "b"]
 
 
+class TestScheduleCallback:
+    def test_fires_at_delay(self, kernel):
+        seen = []
+        kernel.schedule_callback(4.0, lambda: seen.append(kernel.now))
+        kernel.run()
+        assert seen == [4.0]
+
+    def test_cancel_prevents_fire(self, kernel):
+        seen = []
+        timer = kernel.schedule_callback(4.0, seen.append, "x")
+        timer.cancel()
+        assert timer.cancelled
+        kernel.run()
+        assert seen == []
+
+    def test_cancelled_entries_are_skipped_lazily(self, kernel):
+        # Cancelling must not disturb the heap; the dead entry is
+        # dropped at pop time and never counted as a processed event.
+        live = []
+        timers = [
+            kernel.schedule_callback(float(index), live.append, index)
+            for index in range(10)
+        ]
+        for index, timer in enumerate(timers):
+            if index % 2:
+                timer.cancel()
+        kernel.run()
+        assert live == [0, 2, 4, 6, 8]
+        assert kernel.events_processed == 5
+
+    def test_peek_skips_cancelled_heads(self, kernel):
+        early = kernel.schedule_callback(1.0, lambda: None)
+        kernel.schedule_callback(5.0, lambda: None)
+        early.cancel()
+        assert kernel.peek() == 5.0
+
+    def test_step_over_cancelled_head_is_silent(self, kernel):
+        timer = kernel.schedule_callback(1.0, lambda: None)
+        timer.cancel()
+        kernel.step()  # drains the dead timer without raising
+        with pytest.raises(SimError):
+            kernel.step()  # heap truly empty now
+
+
 class TestDeterminism:
     def test_same_seed_same_draws(self):
         def draws(seed):
@@ -94,3 +138,33 @@ class TestDeterminism:
     def test_stream_is_cached(self):
         k = Kernel(seed=1)
         assert k.rng.stream("x") is k.rng.stream("x")
+
+    def test_same_seed_same_event_trace(self):
+        # A mixed workload (processes, timeouts, rng-driven delays,
+        # cancelled timers) must replay identically for the same seed:
+        # equal (time, tag) traces and equal processed-event counts.
+        def trace(seed):
+            kernel = Kernel(seed=seed)
+            rng = kernel.rng.stream("workload")
+            events = []
+
+            def worker(name, rounds):
+                for round_no in range(rounds):
+                    yield kernel.timeout(rng.uniform(0.5, 3.0))
+                    events.append((kernel.now, f"{name}:{round_no}"))
+
+            for name, rounds in (("a", 4), ("b", 3), ("c", 5)):
+                kernel.process(worker(name, rounds))
+            timers = [
+                kernel.schedule_callback(
+                    rng.uniform(1.0, 9.0), events.append, (0.0, f"t{i}")
+                )
+                for i in range(6)
+            ]
+            for timer in timers[::2]:
+                timer.cancel()
+            kernel.run()
+            return events, kernel.events_processed
+
+        assert trace(11) == trace(11)
+        assert trace(11) != trace(12)
