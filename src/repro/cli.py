@@ -6,6 +6,8 @@ Usage::
     python -m repro e1 [--seed 3] [--scale small|full] [--jobs 4]
     python -m repro all --scale small --jobs 4 --bench-out BENCH_grid.json
     python -m repro bench [--quick] [--check]
+    python -m repro trace --experiment e2 --out trace.json [--jsonl spans.jsonl]
+    python -m repro metrics --experiment e2 [--out metrics.json]
 
 Each experiment prints the table documented in EXPERIMENTS.md; ``small``
 scale finishes in a few seconds per experiment, ``full`` matches the
@@ -16,6 +18,13 @@ microbenchmark suite and appends to the perf trajectory
 (``BENCH_kernel.json``); ``bench --check`` additionally fails when
 kernel event throughput regressed more than 30% against the last
 committed entry.
+
+``trace`` and ``metrics`` run one small traced scenario of an experiment
+(spans + timeline on; see :mod:`repro.obs.scenarios`) and export the
+observability stream: ``trace`` writes a Chrome trace-event file for
+chrome://tracing or https://ui.perfetto.dev (plus optionally the raw
+JSONL stream), ``metrics`` a metrics-registry snapshot; both print the
+recovery-timeline report.
 """
 
 from __future__ import annotations
@@ -101,7 +110,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (e1..e8), 'all', 'list', or 'bench'",
+        help="experiment id (e1..e8), 'all', 'list', 'bench', 'trace', "
+        "or 'metrics'",
     )
     parser.add_argument("--seed", type=int, default=3, help="master seed")
     parser.add_argument(
@@ -137,12 +147,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="bench --check: tolerated fractional drop (default 0.30)",
     )
     parser.add_argument(
+        "--max-overhead", type=float, default=0.05, metavar="FRAC",
+        help="bench --check: tolerated instrumentation overhead on the "
+        "kernel-events bench with tracing disabled (default 0.05)",
+    )
+    parser.add_argument(
         "--no-append", action="store_true",
         help="bench: do not write the run into the trajectory file",
     )
     parser.add_argument(
         "--out", default=None, metavar="PATH",
-        help="bench: also write this run's metrics to a standalone file",
+        help="bench/trace/metrics: write this run's output to a "
+        "standalone file (trace default: trace.json)",
+    )
+    # trace/metrics-only options (ignored by the other subcommands).
+    parser.add_argument(
+        "--experiment", dest="scenario", default="e2", metavar="EID",
+        help="trace/metrics: which experiment's traced scenario to run "
+        "(default: e2)",
+    )
+    parser.add_argument(
+        "--jsonl", default=None, metavar="PATH",
+        help="trace: also write the raw JSONL span/metric stream here",
     )
     return parser
 
@@ -200,9 +226,13 @@ def run_bench(args: argparse.Namespace) -> int:
     """The ``bench`` subcommand: microbench suite + trajectory."""
     from repro.harness import bench
 
-    metrics = bench.run_suite(quick=args.quick)
+    snapshots: dict = {}
+    metrics = bench.run_suite(quick=args.quick, snapshots=snapshots)
     for key, value in metrics.items():
         print(f"{key}: {value:.1f}")
+    overhead = bench.overhead_fraction(metrics)
+    if overhead is not None:
+        print(f"instrumentation_overhead: {overhead:.1%}")
 
     exit_code = 0
     if args.check:
@@ -220,9 +250,14 @@ def run_bench(args: argparse.Namespace) -> int:
             print(report)
             if not ok:
                 exit_code = 1
+        if overhead is not None and overhead > args.max_overhead:
+            print(f"instrumentation overhead {overhead:.1%} exceeds "
+                  f"--max-overhead {args.max_overhead:.0%}  << REGRESSION")
+            exit_code = 1
     if not args.no_append:
         bench.append_entry(
-            args.trajectory, metrics, label=args.label, quick=args.quick
+            args.trajectory, metrics, label=args.label, quick=args.quick,
+            snapshots=snapshots,
         )
     if args.out:
         import json
@@ -232,6 +267,50 @@ def run_bench(args: argparse.Namespace) -> int:
                        "metrics": metrics}, handle, indent=2)
             handle.write("\n")
     return exit_code
+
+
+def run_trace(args: argparse.Namespace) -> int:
+    """The ``trace`` subcommand: traced scenario -> Chrome trace file."""
+    from repro.obs.export import export_chrome_trace, export_jsonl
+    from repro.obs.report import recovery_timeline, render_recovery_timeline
+    from repro.obs.scenarios import run_traced
+
+    run = run_traced(args.scenario, seed=args.seed)
+    label = f"{run.experiment}@seed={args.seed}"
+    out = args.out or "trace.json"
+    n_events = export_chrome_trace(run.obs, out, label=label)
+    recorder = run.obs.spans
+    print(f"{out}: {n_events} trace events ({len(recorder.spans)} spans, "
+          f"{len(recorder.instants)} instants) — open in chrome://tracing "
+          "or https://ui.perfetto.dev")
+    if args.jsonl:
+        n_lines = export_jsonl(run.obs, args.jsonl, label=label)
+        print(f"{args.jsonl}: {n_lines} JSONL lines")
+    for key, value in run.summary.items():
+        print(f"{key}: {value}")
+    print()
+    print(render_recovery_timeline(recovery_timeline(run.system)))
+    return 0
+
+
+def run_metrics(args: argparse.Namespace) -> int:
+    """The ``metrics`` subcommand: traced scenario -> registry snapshot."""
+    from repro.obs.export import export_metrics_json
+    from repro.obs.report import recovery_timeline, render_recovery_timeline
+    from repro.obs.scenarios import run_traced
+
+    run = run_traced(args.scenario, seed=args.seed)
+    if args.out:
+        export_metrics_json(
+            run.obs, args.out, label=f"{run.experiment}@seed={args.seed}"
+        )
+        print(f"wrote metrics snapshot to {args.out}")
+    snapshot = run.obs.registry.snapshot()
+    for name in sorted(snapshot["global"]):
+        print(f"{name}: {snapshot['global'][name]}")
+    print()
+    print(render_recovery_timeline(recovery_timeline(run.system)))
+    return 0
 
 
 def main(argv: typing.Sequence[str] | None = None) -> int:
@@ -244,6 +323,10 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         return 0
     if name == "bench":
         return run_bench(args)
+    if name == "trace":
+        return run_trace(args)
+    if name == "metrics":
+        return run_metrics(args)
     if name == "all":
         run_all(args.seed, args.scale, args.jobs, args.bench_out)
         return 0

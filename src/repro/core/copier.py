@@ -131,13 +131,22 @@ class CopierService:
         if item in self._inflight:
             return
         self._inflight.add(item)
+        obs = self.site.obs
+        span = None
+        if obs.spans_on:
+            span = obs.spans.start(
+                f"refresh:{item}", "copier_refresh", self.site.site_id
+            )
         try:
-            yield from self._refresh_item_inner(item)
+            yield from self._refresh_item_inner(item, span)
         finally:
+            if span is not None:
+                obs.spans.finish(span)
             self._inflight.discard(item)
         self._check_drained()
 
-    def _refresh_item_inner(self, item: str) -> typing.Generator:
+    def _refresh_item_inner(self, item: str, span=None) -> typing.Generator:
+        parent_span = span.span_id if span is not None else None
         for _attempt in range(self.max_attempts):
             if not self.site.copies.has(item):
                 return
@@ -146,7 +155,8 @@ class CopierService:
                 return  # a user write beat us to it (§3.2)
             try:
                 outcome = yield from self.tm.run(
-                    self._copier_program(item), kind=TxnKind.COPIER
+                    self._copier_program(item), kind=TxnKind.COPIER,
+                    parent_span=parent_span,
                 )
             except TransactionAborted as exc:
                 if isinstance(exc.__cause__, TotalFailure):
@@ -253,5 +263,10 @@ class CopierService:
         unreadable = [
             item for item in self.site.copies.unreadable_items() if not is_ns_item(item)
         ]
+        # Missing-list drain curve: one point per completed refresh gives
+        # the reporter the unreadable-count-over-time trajectory.
+        self.site.obs.registry.series(
+            "recovery.unreadable", self.site.site_id
+        ).append(self.kernel.now, float(len(unreadable)))
         if not unreadable and self.drained_at is None:
             self.drained_at = self.kernel.now

@@ -134,6 +134,19 @@ class RecoveryManager:
         return self._running
 
     def _recover(self) -> typing.Generator:
+        obs = self.site.obs
+        span = None
+        if obs.spans_on:
+            span = obs.spans.start("recovery", "recovery", self.site.site_id)
+        try:
+            record = yield from self._recover_inner(span)
+        finally:
+            if span is not None:
+                obs.spans.finish(span)
+        return record
+
+    def _recover_inner(self, span=None) -> typing.Generator:
+        parent_span = span.span_id if span is not None else None
         record = RecoveryRecord(site_id=self.site.site_id, power_on_at=self.kernel.now)
         self.records.append(record)
         self.copiers.reset_drain_marker()
@@ -163,9 +176,13 @@ class RecoveryManager:
                 observed=observed,
             )
             try:
-                yield from self.tm.run(program, kind=TxnKind.CONTROL)
+                yield from self.tm.run(
+                    program, kind=TxnKind.CONTROL, parent_span=parent_span
+                )
             except TransactionAborted as exc:
-                yield from self._handle_type1_failure(exc, source, observed, record)
+                yield from self._handle_type1_failure(
+                    exc, source, observed, record, parent_span
+                )
                 continue
             # Step 4: committed — the site is nominally up. Before
             # loading as[k] (no user transaction can be served until
@@ -194,6 +211,14 @@ class RecoveryManager:
             record.operational_at = self.kernel.now
             record.succeeded = True
             record.session_number = new_session
+            registry = self.site.obs.registry
+            crash_at = self.site.last_crash_time
+            registry.histogram("recovery.downtime", self.site.site_id).observe(
+                self.kernel.now - (crash_at if crash_at is not None else record.power_on_at)
+            )
+            registry.histogram(
+                "recovery.time_to_operational", self.site.site_id
+            ).observe(self.kernel.now - record.power_on_at)
             self.copiers.start_eager()
             return record
 
@@ -218,6 +243,7 @@ class RecoveryManager:
         source: int,
         observed: dict[int, int],
         record: RecoveryRecord,
+        parent_span: int | None = None,
     ) -> typing.Generator:
         """§3.4 step 4's failure path: exclude a newly crashed site.
 
@@ -246,7 +272,9 @@ class RecoveryManager:
                 source if source != crashed else self.site.site_id,
             )
             try:
-                yield from self.tm.run(program, kind=TxnKind.CONTROL)
+                yield from self.tm.run(
+                    program, kind=TxnKind.CONTROL, parent_span=parent_span
+                )
             except TransactionAborted:
                 pass  # another site may exclude it; we retry regardless
         yield self.kernel.timeout(self.config.recovery_retry_delay)

@@ -32,7 +32,9 @@ from repro.errors import InvalidStateTransition
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.partition_merge import MajorityPartitionService, PartitionConfig
+    from repro.obs import Observability
 from repro.net.latency import LatencyModel
+from repro.obs.instrument import instrument_rowaa
 from repro.storage.copies import Version
 from repro.txn.transaction import next_commit_seq
 from repro.sim.kernel import Kernel
@@ -61,6 +63,7 @@ class RowaaSystem(DatabaseSystem):
         concurrency: str = "2pl",
         partition_mode: bool = False,
         partition_config: "PartitionConfig | None" = None,
+        obs: "Observability | None" = None,
     ) -> None:
         self.rowaa_config = rowaa_config if rowaa_config is not None else RowaaConfig()
 
@@ -93,6 +96,7 @@ class RowaaSystem(DatabaseSystem):
             detection_delay=detection_delay,
             loss_probability=loss_probability,
             concurrency=concurrency,
+            obs=obs,
         )
 
         self.sessions: dict[int, SessionManager] = {}
@@ -149,6 +153,8 @@ class RowaaSystem(DatabaseSystem):
                 self.partition_services[site_id] = MajorityPartitionService(
                     self, self.cluster.site(site_id), p_config
                 )
+
+        instrument_rowaa(self)
 
     def _on_any_recovery(self, recovered_site: int) -> None:
         # A fresh source of readable copies may unblock copiers that hit

@@ -21,16 +21,22 @@ Trajectory schema::
           "quick": false,
           "metrics": {
             "kernel_events_per_s": 650000.0,
+            "kernel_events_obs_off_per_s": 645000.0,
             "timeout_churn_per_s": 800000.0,
             "copier_refresh_per_s": 12.5,
             "txn_throughput_per_s": 120.0
-          }
+          },
+          "obs": {"copier_refresh": {"...": "global metrics snapshot"}}
         }
       ]
     }
 
 Metrics are throughputs (bigger is better); machines differ, so only
-ratios between entries produced on the same machine are meaningful.
+ratios between entries produced on the same machine are meaningful. The
+``obs`` field carries the global metrics-registry snapshot of the
+system-level benches (``repro.obs``), and the gap between
+``kernel_events_per_s`` and its ``_obs_off`` twin is the instrumentation
+overhead with tracing disabled — ``--check`` bounds it at 5%.
 """
 
 from __future__ import annotations
@@ -76,6 +82,37 @@ def bench_kernel_events(n: int = 10_000, repeats: int = 10) -> float:
     return _best_of(run, repeats)
 
 
+def bench_kernel_events_obs_off(n: int = 10_000, repeats: int = 10) -> float:
+    """The kernel-events workload with a (disabled) observability bundle.
+
+    The metrics registry is pull-based and spans are off, so the drain
+    loop must be doing byte-for-byte the same work as in
+    :func:`bench_kernel_events`. The ratio of the two metrics is the
+    instrumentation overhead that ``bench --check`` bounds (<5% by
+    default) — it guards against someone ever putting a per-event hook
+    into the hot loop.
+    """
+    from repro.obs import Observability
+
+    def run() -> int:
+        kernel = Kernel(seed=0)
+        obs = Observability(kernel)  # spans/timeline disabled
+
+        def collect_kernel() -> dict:
+            return {
+                ("kernel.events_processed", None): float(kernel.events_processed)
+            }
+
+        obs.registry.add_collector(collect_kernel)
+        for index in range(n):
+            kernel.timeout(index % 97)
+        kernel.run()
+        assert obs.registry.snapshot()["global"]["kernel.events_processed"] > 0
+        return kernel.events_processed
+
+    return _best_of(run, repeats)
+
+
 def bench_timeout_churn(n: int = 10_000, repeats: int = 10) -> float:
     """RPC-style timeout churn: schedule ``n`` timers, cancel 90%.
 
@@ -103,11 +140,17 @@ def _noop() -> None:
     return None
 
 
-def bench_copier_refresh(n_items: int = 16, repeats: int = 3) -> float:
+def bench_copier_refresh(
+    n_items: int = 16, repeats: int = 3, snapshots: dict | None = None
+) -> float:
     """Copier renovation throughput: stale copies refreshed per second.
 
     End-to-end: crash a site, commit ``n_items`` updates it misses,
-    power it back on, and drain the eager copiers.
+    power it back on, and drain the eager copiers. When ``snapshots`` is
+    given, the last run's global metrics snapshot is stored under
+    ``"copier_refresh"`` — the trajectory keeps it so a throughput shift
+    can be traced to a behaviour shift (more aborts, more messages)
+    rather than guessed at.
     """
     from repro.baselines import build_rowaa_system
     from repro.net.latency import ConstantLatency
@@ -137,12 +180,16 @@ def bench_copier_refresh(n_items: int = 16, repeats: int = 3) -> float:
         system.stop()
         copied = system.copiers[3].stats.copies_performed
         assert copied >= n_items
+        if snapshots is not None:
+            snapshots["copier_refresh"] = system.obs.registry.snapshot()["global"]
         return copied
 
     return _best_of(run, repeats)
 
 
-def bench_txn_throughput(n_txns: int = 200, repeats: int = 3) -> float:
+def bench_txn_throughput(
+    n_txns: int = 200, repeats: int = 3, snapshots: dict | None = None
+) -> float:
     """Sequential replicated read-modify-write transactions per second."""
     from repro.baselines import StrictROWA
     from repro.net.latency import ConstantLatency
@@ -171,25 +218,54 @@ def bench_txn_throughput(n_txns: int = 200, repeats: int = 3) -> float:
         result = kernel.run(kernel.process(driver()))
         system.stop()
         assert result == n_txns
+        if snapshots is not None:
+            snapshots["txn_throughput"] = system.obs.registry.snapshot()["global"]
         return n_txns
 
     return _best_of(run, repeats)
 
 
-def run_suite(quick: bool = False) -> dict:
-    """Run every microbench; returns ``{metric: value}``."""
+def overhead_fraction(metrics: dict) -> float | None:
+    """Instrumentation overhead on the kernel-events bench.
+
+    ``1 - obs_off/plain``: the fraction of kernel event throughput lost
+    to carrying a disabled observability bundle. Negative values (noise
+    in the bundle's favour) are clamped to 0. ``None`` when either
+    metric is missing.
+    """
+    plain = metrics.get("kernel_events_per_s")
+    with_obs = metrics.get("kernel_events_obs_off_per_s")
+    if not plain or not with_obs:
+        return None
+    return max(0.0, 1.0 - with_obs / plain)
+
+
+def run_suite(quick: bool = False, snapshots: dict | None = None) -> dict:
+    """Run every microbench; returns ``{metric: value}``.
+
+    ``snapshots``, if given, is filled with the global metrics snapshot
+    of the system-level benches (see :func:`bench_copier_refresh`).
+    """
     if quick:
         return {
             "kernel_events_per_s": bench_kernel_events(n=4_000, repeats=3),
+            "kernel_events_obs_off_per_s": bench_kernel_events_obs_off(
+                n=4_000, repeats=3
+            ),
             "timeout_churn_per_s": bench_timeout_churn(n=4_000, repeats=3),
-            "copier_refresh_per_s": bench_copier_refresh(n_items=8, repeats=1),
-            "txn_throughput_per_s": bench_txn_throughput(n_txns=60, repeats=1),
+            "copier_refresh_per_s": bench_copier_refresh(
+                n_items=8, repeats=1, snapshots=snapshots
+            ),
+            "txn_throughput_per_s": bench_txn_throughput(
+                n_txns=60, repeats=1, snapshots=snapshots
+            ),
         }
     return {
         "kernel_events_per_s": bench_kernel_events(),
+        "kernel_events_obs_off_per_s": bench_kernel_events_obs_off(),
         "timeout_churn_per_s": bench_timeout_churn(),
-        "copier_refresh_per_s": bench_copier_refresh(),
-        "txn_throughput_per_s": bench_txn_throughput(),
+        "copier_refresh_per_s": bench_copier_refresh(snapshots=snapshots),
+        "txn_throughput_per_s": bench_txn_throughput(snapshots=snapshots),
     }
 
 
@@ -208,7 +284,11 @@ def load_trajectory(path: str) -> dict:
 
 
 def append_entry(
-    path: str, metrics: dict, label: str, quick: bool = False
+    path: str,
+    metrics: dict,
+    label: str,
+    quick: bool = False,
+    snapshots: dict | None = None,
 ) -> dict:
     """Append one labelled run to the trajectory at ``path``."""
     trajectory = load_trajectory(path)
@@ -218,6 +298,8 @@ def append_entry(
         "quick": quick,
         "metrics": {key: round(value, 1) for key, value in metrics.items()},
     }
+    if snapshots:
+        entry["obs"] = snapshots
     trajectory["entries"].append(entry)
     with open(path, "w") as handle:
         json.dump(trajectory, handle, indent=2)

@@ -20,7 +20,13 @@ from __future__ import annotations
 import random
 
 from repro.harness.parallel import Cell, run_cells
-from repro.harness.runner import build_scheme, replicated_catalog, settle
+from repro.harness.runner import (
+    build_scheme,
+    build_traced_scheme,
+    cell_seed,
+    replicated_catalog,
+    settle,
+)
 from repro.harness.tables import Table
 from repro.workload import ClientPool, WorkloadGenerator, WorkloadSpec
 
@@ -133,3 +139,37 @@ def _one_cell(scheme, seed, n_sites, replication, spec, failed, load_duration):
     kernel.run(until=kernel.now + 10)
     refused = readers.stats.refused + writers.stats.refused
     return readers.stats.availability, writers.stats.availability, refused
+
+
+def traced_scenario(seed: int = 0):
+    """One traced cell for ``repro trace``: one crashed site, mixed load.
+
+    Mirrors the one-failed-site cell of the grid on a small
+    configuration, with spans and the timeline enabled.
+    """
+    n_sites, replication, n_items = 4, 2, 8
+    spec = WorkloadSpec(n_items=n_items, ops_per_txn=2, write_fraction=0.3)
+    catalog = replicated_catalog(
+        n_sites, spec.item_names(), replication, cell_seed("e1-trace", seed)
+    )
+    kernel, system, obs = build_traced_scheme(
+        "rowaa", cell_seed("e1-trace", seed), n_sites, spec.initial_items(),
+        catalog=catalog,
+    )
+    system.crash(n_sites)
+    settle(kernel, system, 80.0)
+    rng = random.Random(seed)
+    pool = ClientPool(
+        system, WorkloadGenerator(spec, rng), n_clients=3,
+        think_time=3.0, retries=1, home_sites=list(range(1, n_sites)),
+    )
+    pool.start(120.0)
+    kernel.run(until=kernel.now + 150)
+    kernel.run(system.power_on(n_sites))
+    system.stop()
+    kernel.run(until=kernel.now + 10)
+    return kernel, system, obs, {
+        "committed": pool.stats.committed,
+        "refused": pool.stats.refused,
+        "availability": pool.stats.availability,
+    }

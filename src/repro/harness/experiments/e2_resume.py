@@ -24,7 +24,7 @@ sits at the per-item INCLUDE cost ∝ #items.
 from __future__ import annotations
 
 from repro.harness.parallel import Cell, run_cells
-from repro.harness.runner import build_scheme, settle
+from repro.harness.runner import build_scheme, build_traced_scheme, settle
 from repro.harness.tables import Table
 from repro.workload import WorkloadSpec
 
@@ -132,3 +132,37 @@ def _caught_up_time(kernel, system, scheme, victim, power_at):
     # Spooler replays before rejoining; directories refresh during the
     # INCLUDE pass: caught-up coincides with operational.
     return kernel.now - power_at
+
+
+def traced_scenario(seed: int = 0):
+    """One traced rowaa cell for ``repro trace``: crash, miss, reboot, drain.
+
+    The canonical observability scenario: its span tree contains user
+    transactions with remote RPC children (the missed updates), the
+    type-1 control transaction of the §3.4 recovery, and the copier
+    refreshes that drain the missing list afterwards.
+    """
+    n_sites, n_items, missed = 3, 8, 6
+    spec = WorkloadSpec(n_items=n_items)
+    kernel, system, obs = build_traced_scheme(
+        "rowaa", seed * 37 + missed, n_sites, spec.initial_items()
+    )
+    victim = n_sites
+    system.crash(victim)
+    settle(kernel, system, 80.0)
+    for index in range(missed):
+        item = f"X{index % n_items}"
+        kernel.run(system.submit_with_retry(1, _write_program(item, index), attempts=4))
+
+    power_at = kernel.now
+    kernel.run(system.power_on(victim))
+    t_operational = kernel.now - power_at
+    kernel.run(until=kernel.now + 1500)  # let copiers drain
+    system.stop()
+    kernel.run(until=kernel.now + 10)
+    drained = system.copiers[victim].drained_at
+    return kernel, system, obs, {
+        "missed_updates": missed,
+        "t_operational": t_operational,
+        "t_caught_up": (drained - power_at) if drained is not None else None,
+    }

@@ -21,7 +21,7 @@ import random
 
 from repro.harness.metrics import mean, network_totals, tm_totals
 from repro.harness.parallel import Cell, run_cells
-from repro.harness.runner import build_scheme
+from repro.harness.runner import build_scheme, build_traced_scheme
 from repro.harness.tables import Table
 from repro.workload import ClientPool, WorkloadGenerator, WorkloadSpec
 
@@ -132,4 +132,32 @@ def _one_cell(scheme, seed, n_sites, n_items, load_duration, n_clients):
         "mean_latency": mean(pool.stats.latencies),
         "msgs_per_commit": (network["sent"] / committed) if committed else None,
         "committed": committed,
+    }
+
+
+def traced_scenario(seed: int = 0):
+    """One traced failure-free cell for ``repro trace``.
+
+    No crashes: the trace shows the steady-state shape of the protocol —
+    user transaction spans whose RPC children carry the read-one /
+    write-all fan-out and the 2PC rounds.
+    """
+    n_sites, n_items = 3, 12
+    spec = WorkloadSpec(n_items=n_items, ops_per_txn=3, write_fraction=0.3)
+    kernel, system, obs = build_traced_scheme(
+        "rowaa", seed * 13 + n_sites, n_sites, spec.initial_items()
+    )
+    rng = random.Random(seed + n_sites)
+    pool = ClientPool(
+        system, WorkloadGenerator(spec, rng), n_clients=4, think_time=2.0
+    )
+    pool.start(150.0)
+    kernel.run(until=kernel.now + 200)
+    system.stop()
+    kernel.run(until=kernel.now + 10)
+    committed = pool.stats.committed
+    return kernel, system, obs, {
+        "committed": committed,
+        "throughput": committed / 150.0,
+        "mean_latency": mean(pool.stats.latencies),
     }

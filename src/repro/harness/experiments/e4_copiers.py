@@ -23,7 +23,7 @@ import random
 
 from repro.core.config import RowaaConfig
 from repro.harness.parallel import Cell, run_cells
-from repro.harness.runner import build_scheme, cell_seed, settle
+from repro.harness.runner import build_scheme, build_traced_scheme, cell_seed, settle
 from repro.harness.tables import Table
 from repro.workload import ClientPool, WorkloadGenerator, WorkloadSpec
 
@@ -138,4 +138,45 @@ def _one_cell(seed, n_sites, n_items, stale_fraction, read_duration, mode):
         "redirected_reads": redirected,
         "copies_performed": copiers.stats.copies_performed,
         "version_skips": copiers.stats.copies_skipped_version,
+    }
+
+
+def traced_scenario(seed: int = 0):
+    """One traced eager-copier cell for ``repro trace``.
+
+    Half the items go stale during the outage; read load lands on the
+    recovered site while the eager copiers drain, so the trace shows
+    copier-refresh spans interleaved with redirected user reads.
+    """
+    n_sites, n_items = 3, 8
+    spec = WorkloadSpec(n_items=n_items, ops_per_txn=2, write_fraction=0.0)
+    kernel, system, obs = build_traced_scheme(
+        "rowaa", cell_seed("e4-trace", seed), n_sites, spec.initial_items(),
+        rowaa_config=RowaaConfig(copier_mode="eager", unreadable_policy="redirect"),
+    )
+    victim = n_sites
+    system.crash(victim)
+    settle(kernel, system, 80.0)
+    for index in range(n_items // 2):
+        kernel.run(
+            system.submit_with_retry(1, _write_program(f"X{index}", index), attempts=4)
+        )
+    power_at = kernel.now
+    kernel.run(system.power_on(victim))
+
+    rng = random.Random(seed)
+    pool = ClientPool(
+        system, WorkloadGenerator(spec, rng), n_clients=2, think_time=2.0,
+        home_sites=[victim],
+    )
+    pool.start(120.0)
+    kernel.run(until=kernel.now + 200)
+    system.stop()
+    kernel.run(until=kernel.now + 10)
+    copiers = system.copiers[victim]
+    drained = copiers.drained_at
+    return kernel, system, obs, {
+        "drain_time": (drained - power_at) if drained is not None else None,
+        "redirected_reads": system.dms[victim].stats_unreadable_rejections,
+        "copies_performed": copiers.stats.copies_performed,
     }

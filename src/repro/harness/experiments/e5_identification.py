@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from repro.core.config import RowaaConfig
 from repro.harness.parallel import Cell, run_cells
-from repro.harness.runner import build_scheme, cell_seed, settle
+from repro.harness.runner import build_scheme, build_traced_scheme, cell_seed, settle
 from repro.harness.tables import Table
 from repro.workload import WorkloadSpec
 
@@ -117,6 +117,39 @@ def _one_cell(seed, n_sites, n_items, fraction, policy):
     kernel.run(until=kernel.now + 10)
     stats = system.copiers[victim].stats
     return {
+        "marked": record.marked_items,
+        "data_transfers": stats.copies_performed,
+        "version_skips": stats.copies_skipped_version,
+    }
+
+
+def traced_scenario(seed: int = 0):
+    """One traced mark-all identification cell for ``repro trace``.
+
+    Half the items were updated during the outage; the recovery marks
+    every resident copy and the copiers sort current from stale via the
+    version check, so the trace shows version-skip refreshes alongside
+    real transfers.
+    """
+    n_sites, n_items = 3, 8
+    spec = WorkloadSpec(n_items=n_items)
+    kernel, system, obs = build_traced_scheme(
+        "rowaa", cell_seed("e5-trace", seed), n_sites, spec.initial_items(),
+        rowaa_config=RowaaConfig(copier_mode="eager", identify_mode="mark-all"),
+    )
+    victim = n_sites
+    system.crash(victim)
+    settle(kernel, system, 80.0)
+    for index in range(n_items // 2):
+        kernel.run(
+            system.submit_with_retry(1, _write_program(f"X{index}", index), attempts=4)
+        )
+    record = kernel.run(system.power_on(victim))
+    kernel.run(until=kernel.now + 1500)
+    system.stop()
+    kernel.run(until=kernel.now + 10)
+    stats = system.copiers[victim].stats
+    return kernel, system, obs, {
         "marked": record.marked_items,
         "data_transfers": stats.copies_performed,
         "version_skips": stats.copies_skipped_version,

@@ -28,7 +28,7 @@ import random
 
 from repro.harness.metrics import mean
 from repro.harness.parallel import Cell, run_cells
-from repro.harness.runner import build_scheme, settle
+from repro.harness.runner import build_scheme, build_traced_scheme, settle
 from repro.harness.tables import Table
 from repro.workload import WorkloadSpec
 
@@ -154,3 +154,43 @@ def _one_trial(scenario, seed, n_sites, n_items):
     settle(kernel, system, 200.0)
     system.stop()
     return system.recovery_records()
+
+
+def traced_scenario(seed: int = 0):
+    """One traced crash-during-t1 trial for ``repro trace``.
+
+    A second site crashes inside the recovery window, forcing the §3.4
+    step-4 path: the trace shows the recovery span containing a failed
+    type-1 attempt, the type-2 exclusion, and the retry.
+    """
+    n_sites, n_items = 4, 8
+    spec = WorkloadSpec(n_items=n_items)
+    kernel, system, obs = build_traced_scheme(
+        "rowaa", seed, n_sites, spec.initial_items()
+    )
+    rng = random.Random(seed)
+    system.crash(n_sites)
+    settle(kernel, system, 60.0)
+    recovery = system.power_on(n_sites)
+    saboteur_site = 1 + rng.randrange(n_sites - 1)
+
+    def saboteur():
+        yield kernel.timeout(0.5 + rng.random() * 4.0)
+        if not system.cluster.site(saboteur_site).is_down:
+            system.crash(saboteur_site)
+
+    kernel.process(saboteur())
+    kernel.run(recovery)
+    settle(kernel, system, 100.0)
+    if system.cluster.site(saboteur_site).is_down:
+        kernel.run(system.power_on(saboteur_site))
+    settle(kernel, system, 200.0)
+    system.stop()
+    kernel.run(until=kernel.now + 10)
+    records = system.recovery_records()
+    return kernel, system, obs, {
+        "recoveries": len(records),
+        "succeeded": sum(1 for record in records if record.succeeded),
+        "type1_attempts": sum(record.type1_attempts for record in records),
+        "type2_runs": sum(record.type2_runs for record in records),
+    }

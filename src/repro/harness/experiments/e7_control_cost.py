@@ -18,7 +18,7 @@ and one INCLUDE per item).
 from __future__ import annotations
 
 from repro.harness.parallel import Cell, run_cells
-from repro.harness.runner import build_scheme, settle
+from repro.harness.runner import build_scheme, build_traced_scheme, settle
 from repro.harness.tables import Table
 from repro.workload import WorkloadSpec
 
@@ -106,3 +106,33 @@ def _one_cell(scheme, seed, n_sites, n_items):
             record.includes_committed for record in service.records
         )
     return {"status_txns": status_txns, "remote_messages": messages}
+
+
+def traced_scenario(seed: int = 0):
+    """One traced quiet crash/reboot cycle for ``repro trace``.
+
+    Nothing is updated during the outage, so the trace isolates the pure
+    control cost: the type-2 exclusion after detection and the type-1
+    inclusion at recovery, with no copier data transfers riding along.
+    """
+    n_sites, n_items = 3, 8
+    spec = WorkloadSpec(n_items=n_items)
+    kernel, system, obs = build_traced_scheme(
+        "rowaa", seed * 53 + n_items, n_sites, spec.initial_items()
+    )
+    baseline_msgs = system.cluster.network.stats.sent
+    victim = n_sites
+    system.crash(victim)
+    settle(kernel, system, 120.0)
+    kernel.run(system.power_on(victim))
+    settle(kernel, system, 500.0)
+    system.stop()
+    kernel.run(until=kernel.now + 10)
+    status_txns = (
+        sum(service.type2_committed for service in system.controls.values())
+        + sum(1 for record in system.recovery_records() if record.succeeded)
+    )
+    return kernel, system, obs, {
+        "status_txns": status_txns,
+        "remote_messages": system.cluster.network.stats.sent - baseline_msgs,
+    }

@@ -22,7 +22,7 @@ import random
 
 from repro.core.nominal import db_item_filter
 from repro.harness.parallel import Cell, run_cells
-from repro.harness.runner import build_scheme, quiesce
+from repro.harness.runner import build_scheme, build_traced_scheme, quiesce
 from repro.harness.tables import Table
 from repro.histories import check_one_sr, check_theorem3
 from repro.workload import ClientPool, FailureSchedule, WorkloadGenerator, WorkloadSpec
@@ -131,3 +131,35 @@ def _one_run(scheme, seed, n_sites, n_items, duration):
     kernel.run(until=duration)
     quiesce(kernel, system, grace=800.0)
     return system.recorder, pool.stats.committed
+
+
+def traced_scenario(seed: int = 0):
+    """One traced randomized crash/recovery run for ``repro trace``.
+
+    The full Theorem-3 setting in miniature: clients on every site,
+    random outages, then quiesce and run both history checks — the trace
+    shows user, control, and copier spans interleaving across failures.
+    """
+    n_sites, n_items, duration = 3, 8, 300.0
+    spec = WorkloadSpec(
+        n_items=n_items, ops_per_txn=3, write_fraction=0.5, zipf_s=0.5
+    )
+    kernel, system, obs = build_traced_scheme(
+        "rowaa", seed, n_sites, spec.initial_items()
+    )
+    rng = random.Random(seed)
+    schedule = FailureSchedule.random_failures(
+        system.cluster.site_ids, rng, horizon=duration * 0.8, mtbf=150, mttr=60
+    )
+    schedule.apply(system)
+    pool = ClientPool(
+        system, WorkloadGenerator(spec, rng), n_clients=4, think_time=4.0, retries=2
+    )
+    pool.start(duration)
+    kernel.run(until=duration)
+    quiesce(kernel, system, grace=600.0)
+    return kernel, system, obs, {
+        "committed": pool.stats.committed,
+        "one_sr": check_one_sr(system.recorder, item_filter=db_item_filter).ok,
+        "theorem3": check_theorem3(system.recorder).ok,
+    }

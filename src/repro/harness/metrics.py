@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 import typing
 
 from repro.system import DatabaseSystem
@@ -13,7 +14,13 @@ def mean(values: typing.Sequence[float]) -> float:
 
 
 def percentile(values: typing.Sequence[float], p: float) -> float:
-    """Nearest-rank percentile (p in [0, 100]); 0.0 for empty input."""
+    """Nearest-rank percentile (p in [0, 100]); 0.0 for empty input.
+
+    The rank is ``floor(x + 0.5)`` rather than ``round(x)``: built-in
+    ``round`` uses banker's rounding, under which the p50 of two elements
+    lands on index 0 (0.5 rounds to 0) — half-up makes .5 ties resolve
+    to the upper neighbour consistently on every Python build.
+    """
     if not values:
         return 0.0
     ordered = sorted(values)
@@ -21,8 +28,8 @@ def percentile(values: typing.Sequence[float], p: float) -> float:
         return ordered[0]
     if p >= 100:
         return ordered[-1]
-    rank = max(0, min(len(ordered) - 1, round(p / 100 * (len(ordered) - 1))))
-    return ordered[rank]
+    rank = int(math.floor(p / 100 * (len(ordered) - 1) + 0.5))
+    return ordered[max(0, min(len(ordered) - 1, rank))]
 
 
 def tm_totals(system: DatabaseSystem) -> dict:
@@ -50,3 +57,8 @@ def tm_totals(system: DatabaseSystem) -> dict:
 def network_totals(system: DatabaseSystem) -> dict:
     """Remote-message counters (local TM↔DM calls excluded)."""
     return system.cluster.network.stats.snapshot()
+
+
+def obs_snapshot(system: DatabaseSystem) -> dict:
+    """The system's full metrics-registry snapshot (see repro.obs)."""
+    return system.obs.registry.snapshot()

@@ -14,6 +14,7 @@ from repro.baselines import (
     build_spooler_system,
 )
 from repro.net.latency import ConstantLatency
+from repro.obs import Observability
 from repro.sim.kernel import Kernel
 from repro.sim.rng import RngRegistry
 from repro.storage.catalog import Catalog
@@ -56,6 +57,38 @@ def build_scheme(
         **kwargs,
     )
     return kernel, system
+
+
+def build_traced_scheme(
+    scheme: str,
+    seed: int,
+    n_sites: int,
+    items: dict[str, object],
+    catalog: Catalog | None = None,
+    txn_config: TxnConfig | None = None,
+    **kwargs: typing.Any,
+) -> tuple[Kernel, DatabaseSystem, Observability]:
+    """Like :func:`build_scheme`, but with spans + timeline recording on.
+
+    Used by ``repro trace`` / ``repro metrics``: the returned
+    :class:`~repro.obs.Observability` carries the span tree, timeline
+    instants, and metrics registry for export after the scenario runs.
+    """
+    kernel = Kernel(seed=seed)
+    obs = Observability(kernel, spans=True, timeline=True)
+    builder = SCHEME_BUILDERS[scheme]
+    system = builder(
+        kernel,
+        n_sites,
+        items,
+        catalog=catalog,
+        latency=ConstantLatency(DEFAULT_LATENCY),
+        detection_delay=DEFAULT_DETECTION,
+        config=txn_config if txn_config is not None else TxnConfig(rpc_timeout=25.0),
+        obs=obs,
+        **kwargs,
+    )
+    return kernel, system, obs
 
 
 def replicated_catalog(

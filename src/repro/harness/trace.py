@@ -1,19 +1,27 @@
-"""Structured event tracing for a running system.
+"""Structured event tracing for a running system (compatibility shim).
 
-`SystemTracer` subscribes to the hook points a
-:class:`~repro.system.DatabaseSystem` already exposes (site lifecycle,
-cluster recovery announcements, transaction completion) and records a
-timeline of structured events — the kind of operational log an operator
-would tail. Used by examples and debugging; cheap enough to leave on.
+`SystemTracer` predates the observability layer (:mod:`repro.obs`); it is
+now a thin *view* over the instant timeline that
+:func:`repro.obs.instrument.instrument_system` records for every system.
+Constructing a tracer enables timeline recording on the system's
+:class:`~repro.obs.Observability` bundle and remembers where the stream
+stood, so each tracer sees only events from its own lifetime — matching
+the old hook-attachment semantics. The public API (``events``,
+``of_category``, ``between``, ``render``) is unchanged.
+
+Categories are normalised here, fixing the old ``_txn_event`` bug where
+the user-transaction filter compared against ``txn.kind.value`` while
+categories were emitted inconsistently with the ``of_category``
+docstring: site lifecycle events are ``"site"``, user transactions
+``"txn"``, and control/copier transactions their kind name (``"control"``
+/ ``"copier"``), exactly as documented.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import typing
 
 from repro.system import DatabaseSystem
-from repro.txn.transaction import Transaction, TxnStatus
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -21,7 +29,7 @@ class TraceEvent:
     """One timeline entry."""
 
     time: float
-    category: str  # "site" | "txn" | "recovery"
+    category: str  # "site" | "txn" | "control" | "copier"
     site_id: int
     what: str
     detail: str = ""
@@ -33,45 +41,27 @@ class SystemTracer:
     def __init__(self, system: DatabaseSystem, keep_user_txns: bool = True) -> None:
         self.system = system
         self.keep_user_txns = keep_user_txns
-        self.events: list[TraceEvent] = []
-        for site_id in system.cluster.site_ids:
-            site = system.cluster.site(site_id)
-            site.crash_hooks.append(lambda sid=site_id: self._site_event(sid, "crash"))
-            site.power_on_hooks.append(
-                lambda sid=site_id: self._site_event(sid, "power-on")
-            )
-        system.cluster.recovered_hooks.append(
-            lambda sid: self._site_event(sid, "operational")
-        )
-        for site_id, tm in system.tms.items():
-            tm.finish_hooks.append(self._txn_event)
+        system.obs.enable_timeline()
+        self._recorder = system.obs.spans
+        self._start_index = len(self._recorder.instants)
 
-    def _site_event(self, site_id: int, what: str) -> None:
-        self.events.append(
-            TraceEvent(
-                time=self.system.kernel.now,
-                category="site",
-                site_id=site_id,
-                what=what,
+    @property
+    def events(self) -> list[TraceEvent]:
+        """The timeline recorded since this tracer was constructed."""
+        out = []
+        for instant in self._recorder.instants[self._start_index:]:
+            if instant.category == "txn" and not self.keep_user_txns:
+                continue
+            out.append(
+                TraceEvent(
+                    time=instant.time,
+                    category=instant.category,
+                    site_id=instant.site_id,
+                    what=instant.name,
+                    detail=instant.detail,
+                )
             )
-        )
-
-    def _txn_event(self, txn: Transaction) -> None:
-        if txn.kind.value == "user" and not self.keep_user_txns:
-            return
-        what = "commit" if txn.status is TxnStatus.COMMITTED else "abort"
-        self.events.append(
-            TraceEvent(
-                time=self.system.kernel.now,
-                category="txn" if txn.kind.value == "user" else txn.kind.value,
-                site_id=txn.home_site,
-                what=what,
-                detail=(
-                    f"{txn.txn_id}"
-                    + (f" ({txn.abort_reason})" if txn.abort_reason else "")
-                ),
-            )
-        )
+        return out
 
     # -- queries ----------------------------------------------------------------
 
@@ -85,7 +75,8 @@ class SystemTracer:
 
     def render(self, limit: int | None = None) -> str:
         """Human-readable timeline (most recent ``limit`` events)."""
-        chosen = self.events if limit is None else self.events[-limit:]
+        events = self.events
+        chosen = events if limit is None else events[-limit:]
         lines = []
         for event in chosen:
             detail = f"  {event.detail}" if event.detail else ""

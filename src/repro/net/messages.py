@@ -30,6 +30,10 @@ class Message:
         Unique id assigned at construction; used for RPC correlation.
     reply_to:
         For replies, the ``msg_id`` of the request being answered.
+    span_id:
+        Observability context: the caller's span id, so the serving site
+        can attribute its work to the originating transaction
+        (:mod:`repro.obs.spans`). ``None`` when tracing is off.
     """
 
     src: int
@@ -38,6 +42,7 @@ class Message:
     payload: object = None
     msg_id: int = dataclasses.field(default_factory=lambda: next(_msg_counter))
     reply_to: int | None = None
+    span_id: int | None = None
 
     def is_reply(self) -> bool:
         """True when this message answers an earlier request."""

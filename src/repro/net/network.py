@@ -18,19 +18,54 @@ from repro.net.messages import Message
 from repro.sim.kernel import Kernel
 from repro.sim.queue import Queue
 
+#: Fixed per-message envelope size (headers, ids) used by the byte
+#: accounting; payloads add their own ``wire_size`` when they define one.
+ENVELOPE_BYTES = 64
+
+
+def _wire_size(msg: Message) -> int:
+    return ENVELOPE_BYTES + getattr(msg.payload, "wire_size", 0)
+
 
 @dataclasses.dataclass
 class NetworkStats:
-    """Counters used by the overhead experiments (E3, E7)."""
+    """Counters used by the overhead experiments (E3, E7).
+
+    Remote and intra-site traffic are accounted separately so that the
+    conservation law ``sent == delivered + sum(dropped_*)`` holds exactly
+    for the remote counters (intra-site "messages" are procedure calls
+    and never cross the network): ``delivered`` counts remote deliveries
+    only, ``local_delivered``/``dropped_local_down`` partition
+    ``local_sent`` the same way. Byte totals weight each message by its
+    payload's ``wire_size`` (see :mod:`repro.txn.payloads`) plus a fixed
+    64-byte envelope.
+    """
 
     sent: int = 0
     local_sent: int = 0
     delivered: int = 0
+    local_delivered: int = 0
     dropped_dst_down: int = 0
     dropped_src_down: int = 0
     dropped_loss: int = 0
     dropped_partition: int = 0
+    dropped_local_down: int = 0
+    bytes_sent: int = 0
+    bytes_delivered: int = 0
     by_kind: collections.Counter = dataclasses.field(default_factory=collections.Counter)
+    delivered_by_kind: collections.Counter = dataclasses.field(
+        default_factory=collections.Counter
+    )
+
+    @property
+    def dropped(self) -> int:
+        """All remote drops combined (``sent - delivered`` when quiesced)."""
+        return (
+            self.dropped_dst_down
+            + self.dropped_src_down
+            + self.dropped_loss
+            + self.dropped_partition
+        )
 
     def snapshot(self) -> dict:
         """A plain-dict copy, for metric reports."""
@@ -38,11 +73,16 @@ class NetworkStats:
             "sent": self.sent,
             "local_sent": self.local_sent,
             "delivered": self.delivered,
+            "local_delivered": self.local_delivered,
             "dropped_dst_down": self.dropped_dst_down,
             "dropped_src_down": self.dropped_src_down,
             "dropped_loss": self.dropped_loss,
             "dropped_partition": self.dropped_partition,
+            "dropped_local_down": self.dropped_local_down,
+            "bytes_sent": self.bytes_sent,
+            "bytes_delivered": self.bytes_delivered,
             "by_kind": dict(self.by_kind),
+            "delivered_by_kind": dict(self.delivered_by_kind),
         }
 
 
@@ -154,9 +194,12 @@ class Network:
             self.stats.local_sent += 1
             if src.receiving:
                 self.kernel.call_soon(self._deliver, dst, msg)
+            else:
+                self.stats.dropped_local_down += 1
             return
         self.stats.sent += 1
         self.stats.by_kind[msg.kind] += 1
+        self.stats.bytes_sent += _wire_size(msg)
         if not src.receiving:
             # A down site cannot transmit; this only happens in narrow
             # crash windows where a process is being torn down.
@@ -169,11 +212,20 @@ class Network:
         self.kernel.call_soon(self._deliver, dst, msg, delay=delay)
 
     def _deliver(self, dst: Endpoint, msg: Message) -> None:
+        if msg.src == msg.dst:
+            if dst.receiving:
+                self.stats.local_delivered += 1
+                dst.inbox.put(msg)
+            else:
+                self.stats.dropped_local_down += 1
+            return
         if self._partitioned(msg.src, msg.dst):
             self.stats.dropped_partition += 1
             return
         if dst.receiving:
             self.stats.delivered += 1
+            self.stats.delivered_by_kind[msg.kind] += 1
+            self.stats.bytes_delivered += _wire_size(msg)
             dst.inbox.put(msg)
         else:
             self.stats.dropped_dst_down += 1

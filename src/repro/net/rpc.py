@@ -25,6 +25,9 @@ from repro.sim.events import Future
 from repro.sim.kernel import Callback, Kernel
 from repro.sim.process import Process
 
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs import Observability
+
 Handler = typing.Callable[[object, int], object]
 
 
@@ -41,10 +44,17 @@ class RemoteError(NetworkError):
 class RpcNode:
     """Per-site RPC endpoint: handler registry, dispatcher, caller API."""
 
-    def __init__(self, kernel: Kernel, network: Network, site_id: int) -> None:
+    def __init__(
+        self,
+        kernel: Kernel,
+        network: Network,
+        site_id: int,
+        obs: "Observability | None" = None,
+    ) -> None:
         self.kernel = kernel
         self.network = network
         self.site_id = site_id
+        self.obs = obs
         self.endpoint: Endpoint = network.attach(site_id)
         self._handlers: dict[str, Handler] = {}
         #: msg_id -> (reply future, expiry timer or None). The timer is a
@@ -104,16 +114,40 @@ class RpcNode:
     # -- caller API ------------------------------------------------------------
 
     def call(
-        self, dst: int, kind: str, payload: object = None, timeout: float | None = None
+        self,
+        dst: int,
+        kind: str,
+        payload: object = None,
+        timeout: float | None = None,
+        span_parent: int | None = None,
     ) -> Future:
         """Send a request; the returned future yields the reply value.
 
         Fails with the remote :class:`~repro.errors.ReproError`, with
         :class:`RemoteError` for handler bugs, or with
         :class:`~repro.errors.RpcTimeout` if no reply arrives in time.
+
+        ``span_parent`` attributes the call (and the remote work it
+        triggers) to a caller span when tracing is on; the span id rides
+        the message envelope so the serving site can parent its work
+        under it.
         """
-        msg = Message(src=self.site_id, dst=dst, kind=kind, payload=payload)
-        future = Future(self.kernel, name=f"rpc:{kind}->{dst}").defuse()
+        span_id = None
+        obs = self.obs
+        if obs is not None and obs.spans_on:
+            recorder = obs.spans
+            span = recorder.start(f"rpc:{kind}", "rpc", self.site_id, parent=span_parent)
+            span_id = span.span_id
+            msg = Message(
+                src=self.site_id, dst=dst, kind=kind, payload=payload, span_id=span_id
+            )
+            future = Future(self.kernel, name=f"rpc:{kind}->{dst}").defuse()
+            future.add_callback(
+                lambda ev: recorder.finish(span, dst=dst, ok=ev.ok)
+            )
+        else:
+            msg = Message(src=self.site_id, dst=dst, kind=kind, payload=payload)
+            future = Future(self.kernel, name=f"rpc:{kind}->{dst}").defuse()
         timer = (
             self.kernel.schedule_callback(timeout, self._expire, msg.msg_id, dst, kind)
             if timeout is not None
@@ -129,9 +163,13 @@ class RpcNode:
         kind: str,
         payload: object = None,
         timeout: float | None = None,
+        span_parent: int | None = None,
     ) -> list[tuple[int, Future]]:
         """Issue the same request to several sites; returns (dst, future) pairs."""
-        return [(dst, self.call(dst, kind, payload, timeout)) for dst in dsts]
+        return [
+            (dst, self.call(dst, kind, payload, timeout, span_parent=span_parent))
+            for dst in dsts
+        ]
 
     def _expire(self, msg_id: int, dst: int, kind: str) -> None:
         entry = self._pending.pop(msg_id, None)
@@ -176,6 +214,16 @@ class RpcNode:
         self._servers.add(server)
         server.defuse()
         server.add_callback(lambda _ev: self._servers.discard(server))
+        # Serve-side span: opened here (not inside the handler) because
+        # handlers may be generators whose bodies run later; the span is
+        # closed when the serving process dies, whatever the outcome.
+        obs = self.obs
+        if obs is not None and obs.spans_on and msg.span_id is not None:
+            recorder = obs.spans
+            span = recorder.start(
+                f"serve:{msg.kind}", "serve", self.site_id, parent=msg.span_id
+            )
+            server.add_callback(lambda ev: recorder.finish(span, ok=ev.ok))
 
     def _serve(self, handler: Handler, msg: Message) -> typing.Generator:
         try:

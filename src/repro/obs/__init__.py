@@ -1,0 +1,76 @@
+"""System-wide observability: metrics registry + causal spans + exporters.
+
+One :class:`Observability` object travels with each
+:class:`~repro.system.DatabaseSystem` (created implicitly when none is
+passed in). It bundles:
+
+* a :class:`~repro.obs.metrics.MetricsRegistry` — always live, because
+  its cost model is pull-based (components register *collectors* that
+  scrape counters they keep anyway) plus rare push updates;
+* a :class:`~repro.obs.spans.SpanRecorder` — spans and timeline instants
+  are **off by default** and enabled per run (``repro trace``,
+  :class:`~repro.harness.trace.SystemTracer`), so the hot paths pay a
+  single branch when disabled.
+
+Exporters (`repro.obs.export`) turn a recorder into JSONL or a Chrome
+``chrome://tracing`` file; `repro.obs.report` computes the
+recovery-timeline report (MTTR, time-to-nominally-up vs
+time-to-fully-current, drain curves). See ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.obs.metrics import (
+    BUCKET_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TimeSeries,
+)
+from repro.obs.spans import Instant, Span, SpanRecorder
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Kernel
+
+__all__ = [
+    "BUCKET_BOUNDS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instant",
+    "MetricsRegistry",
+    "Observability",
+    "Span",
+    "SpanRecorder",
+    "TimeSeries",
+]
+
+
+class Observability:
+    """The instrumentation bundle carried by one system."""
+
+    def __init__(
+        self, kernel: "Kernel", spans: bool = False, timeline: bool = False
+    ) -> None:
+        self.kernel = kernel
+        self.registry = MetricsRegistry()
+        self.spans = SpanRecorder(kernel, enabled=spans, timeline=timeline)
+
+    @property
+    def spans_on(self) -> bool:
+        """True when span recording is enabled (checked on hot paths)."""
+        return self.spans.enabled
+
+    @property
+    def timeline_on(self) -> bool:
+        """True when instant/timeline recording is enabled."""
+        return self.spans.timeline_on
+
+    def enable_spans(self) -> None:
+        self.spans.enabled = True
+
+    def enable_timeline(self) -> None:
+        self.spans.timeline_on = True

@@ -1,0 +1,147 @@
+"""Wiring between the observability layer and the system's components.
+
+``instrument_system`` is called at the end of
+:class:`~repro.system.DatabaseSystem` construction and registers
+*collectors* — pull-time scrapers over the counters the subsystems
+already maintain (``TmStats``, ``NetworkStats``, lock-manager and DM
+counters, detector down-events, the kernel's processed-event count) —
+plus the timeline hooks (site lifecycle, transaction finish) that feed
+:class:`~repro.harness.trace.SystemTracer` and the exporters.
+
+``instrument_rowaa`` adds the protocol-layer sources a plain
+``DatabaseSystem`` does not have: copier work accounting and recovery
+records. Everything here is duck-typed on purpose: this module imports
+no component modules, so it can never create an import cycle.
+
+Metric name catalog: see ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import typing
+
+
+def instrument_system(system: typing.Any) -> None:
+    """Register base-layer collectors and timeline hooks on ``system``."""
+    obs = system.obs
+    registry = obs.registry
+    kernel = system.kernel
+    network = system.cluster.network
+
+    def collect_kernel() -> dict:
+        return {("kernel.events_processed", None): float(kernel.events_processed)}
+
+    def collect_network() -> dict:
+        stats = network.stats
+        return {
+            ("net.sent", None): float(stats.sent),
+            ("net.delivered", None): float(stats.delivered),
+            ("net.local_sent", None): float(stats.local_sent),
+            ("net.dropped_dst_down", None): float(stats.dropped_dst_down),
+            ("net.dropped_src_down", None): float(stats.dropped_src_down),
+            ("net.dropped_loss", None): float(stats.dropped_loss),
+            ("net.dropped_partition", None): float(stats.dropped_partition),
+            ("net.bytes_sent", None): float(stats.bytes_sent),
+            ("net.bytes_delivered", None): float(stats.bytes_delivered),
+        }
+
+    def collect_sites() -> dict:
+        values: dict = {}
+        for site_id, tm in system.tms.items():
+            stats = tm.stats
+            values[("txn.committed", site_id)] = float(stats.committed)
+            values[("txn.aborted", site_id)] = float(stats.aborted)
+            values[("txn.refused", site_id)] = float(stats.refused)
+        for site_id, dm in system.dms.items():
+            values[("dm.session_mismatch", site_id)] = float(
+                dm.stats_session_rejections
+            )
+            values[("dm.unreadable_rejections", site_id)] = float(
+                dm.stats_unreadable_rejections
+            )
+            lock_manager = getattr(dm, "lock_manager", None)
+            if lock_manager is not None:
+                values[("locks.waits", site_id)] = float(lock_manager.stats_waits)
+                values[("locks.grants", site_id)] = float(lock_manager.stats_grants)
+        for site_id in system.cluster.site_ids:
+            detector = system.cluster.detector(site_id)
+            values[("detector.down_events", site_id)] = float(detector.down_events)
+        return values
+
+    registry.add_collector(collect_kernel)
+    registry.add_collector(collect_network)
+    registry.add_collector(collect_sites)
+
+    # Timeline instants: site lifecycle + transaction finish. The hooks
+    # are always attached (cheap: one call per lifecycle event / txn
+    # finish, not per kernel event) and drop everything until
+    # obs.enable_timeline() flips the gate.
+    recorder = obs.spans
+
+    def site_instant(site_id: int, what: str) -> None:
+        if recorder.timeline_on:
+            recorder.instant(what, "site", site_id)
+
+    for site_id in system.cluster.site_ids:
+        site = system.cluster.site(site_id)
+        site.crash_hooks.append(lambda sid=site_id: site_instant(sid, "crash"))
+        site.power_on_hooks.append(lambda sid=site_id: site_instant(sid, "power-on"))
+    system.cluster.recovered_hooks.append(
+        lambda sid: site_instant(sid, "operational")
+    )
+
+    def txn_instant(txn: typing.Any) -> None:
+        if not recorder.timeline_on:
+            return
+        kind = txn.kind.value
+        detail = txn.txn_id + (f" ({txn.abort_reason})" if txn.abort_reason else "")
+        recorder.instant(
+            "commit" if txn.status.value == "committed" else "abort",
+            "txn" if kind == "user" else kind,
+            txn.home_site,
+            detail,
+        )
+
+    for tm in system.tms.values():
+        tm.finish_hooks.append(txn_instant)
+
+
+def instrument_rowaa(system: typing.Any) -> None:
+    """Register protocol-layer collectors (copiers, recovery, control)."""
+    registry = system.obs.registry
+
+    def collect_protocol() -> dict:
+        values: dict = {}
+        for site_id, service in system.copiers.items():
+            stats = service.stats
+            values[("copier.refreshes", site_id)] = float(stats.copies_performed)
+            values[("copier.skipped_version", site_id)] = float(
+                stats.copies_skipped_version
+            )
+            values[("copier.aborts", site_id)] = float(stats.copier_aborts)
+            values[("copier.total_failures", site_id)] = float(stats.total_failures)
+            values[("copier.resurrections", site_id)] = float(stats.resurrections)
+            values[("copier.cleared_by_user_write", site_id)] = float(
+                stats.cleared_by_user_write
+            )
+            values[("copier.bytes_copied", site_id)] = float(stats.bytes_copied)
+        for site_id, manager in system.recoveries.items():
+            records = manager.records
+            values[("recovery.runs", site_id)] = float(len(records))
+            values[("recovery.type1_attempts", site_id)] = float(
+                sum(record.type1_attempts for record in records)
+            )
+            values[("recovery.type2_runs", site_id)] = float(
+                sum(record.type2_runs for record in records)
+            )
+            values[("recovery.marked_items", site_id)] = float(
+                sum(record.marked_items for record in records)
+            )
+        for site_id, control in system.controls.items():
+            values[("control.type2_committed", site_id)] = float(
+                control.type2_committed
+            )
+            values[("control.type2_aborted", site_id)] = float(control.type2_aborted)
+        return values
+
+    registry.add_collector(collect_protocol)

@@ -1,0 +1,139 @@
+"""The recovery-timeline reporter.
+
+Computes, per site, the temporal quantities the paper's evaluation is
+about (experiments E2/E4/E6):
+
+* **MTTR** — mean crash-to-operational downtime, from the
+  ``recovery.downtime`` histogram;
+* **time to nominally up** — power-on to the type-1 commit making the
+  site operational (§3.4 step 4), from the recovery records;
+* **time to fully current** — power-on to the copiers draining the last
+  unreadable copy; ``None`` while copies are still unreadable;
+* **missing-list drain curve** — the ``recovery.unreadable`` time series
+  (unreadable count after each completed refresh);
+* **session-mismatch rejections** — how often this site's DM bounced a
+  stale-view request (the protocol's correctness tax).
+
+Works on any :class:`~repro.system.DatabaseSystem`; the copier/recovery
+fields appear when the system has the corresponding services (i.e. a
+:class:`~repro.core.system.RowaaSystem`).
+"""
+
+from __future__ import annotations
+
+import typing
+
+
+def recovery_timeline(system: typing.Any) -> dict:
+    """Build the recovery-timeline report as a plain dict."""
+    registry = system.obs.registry
+    copiers = getattr(system, "copiers", {})
+    recoveries = getattr(system, "recoveries", {})
+
+    sites: dict[int, dict] = {}
+    for site_id in system.cluster.site_ids:
+        site = system.cluster.site(site_id)
+        downtime = registry.histogram("recovery.downtime", site_id)
+        records = recoveries[site_id].records if site_id in recoveries else []
+        to_operational = [
+            r.time_to_operational for r in records if r.time_to_operational is not None
+        ]
+        entry: dict = {
+            "crashes": site.crash_count,
+            "recoveries": len(records),
+            "mttr": downtime.mean if downtime.count else None,
+            "time_to_nominally_up": (
+                sum(to_operational) / len(to_operational) if to_operational else None
+            ),
+            "session_mismatch_rejections": int(
+                registry.value("dm.session_mismatch", site_id)
+            ),
+            "marked_items": sum(r.marked_items for r in records),
+            "type1_attempts": sum(r.type1_attempts for r in records),
+            "type2_runs": sum(r.type2_runs for r in records),
+        }
+        if site_id in copiers and entry["recoveries"]:
+            # Only meaningful for sites that actually came back: a site
+            # that never crashed "drains" trivially when its (empty)
+            # missing list is first checked.
+            service = copiers[site_id]
+            last_power_on = site.last_power_on_time
+            drained = service.drained_at
+            entry["time_to_fully_current"] = (
+                drained - last_power_on
+                if drained is not None
+                and last_power_on is not None
+                and drained >= last_power_on
+                else None
+            )
+            entry["drain_curve"] = list(
+                registry.series("recovery.unreadable", site_id).points
+            )
+        sites[site_id] = entry
+
+    mttrs = [e["mttr"] for e in sites.values() if e["mttr"] is not None]
+    nominally = [
+        e["time_to_nominally_up"]
+        for e in sites.values()
+        if e["time_to_nominally_up"] is not None
+    ]
+    fully = [
+        e.get("time_to_fully_current")
+        for e in sites.values()
+        if e.get("time_to_fully_current") is not None
+    ]
+    return {
+        "sim_time": system.kernel.now,
+        "sites": sites,
+        "global": {
+            "recoveries": sum(e["recoveries"] for e in sites.values()),
+            "mean_mttr": sum(mttrs) / len(mttrs) if mttrs else None,
+            "mean_time_to_nominally_up": (
+                sum(nominally) / len(nominally) if nominally else None
+            ),
+            "mean_time_to_fully_current": sum(fully) / len(fully) if fully else None,
+            "session_mismatch_rejections": int(
+                registry.value("dm.session_mismatch")
+            ),
+        },
+    }
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)
+
+
+def render_recovery_timeline(report: dict) -> str:
+    """Human-readable rendering of :func:`recovery_timeline`."""
+    lines = [
+        f"recovery timeline @ t={report['sim_time']:.1f}",
+        f"{'site':>4}  {'crashes':>7}  {'recov':>5}  {'mttr':>8}  "
+        f"{'nominally-up':>12}  {'fully-current':>13}  {'mismatches':>10}",
+    ]
+    for site_id, entry in sorted(report["sites"].items()):
+        lines.append(
+            f"{site_id:>4}  {entry['crashes']:>7}  {entry['recoveries']:>5}  "
+            f"{_fmt(entry['mttr']):>8}  {_fmt(entry['time_to_nominally_up']):>12}  "
+            f"{_fmt(entry.get('time_to_fully_current')):>13}  "
+            f"{entry['session_mismatch_rejections']:>10}"
+        )
+    overall = report["global"]
+    lines.append(
+        "all:  "
+        f"recoveries={overall['recoveries']} "
+        f"mean_mttr={_fmt(overall['mean_mttr'])} "
+        f"mean_nominally_up={_fmt(overall['mean_time_to_nominally_up'])} "
+        f"mean_fully_current={_fmt(overall['mean_time_to_fully_current'])} "
+        f"session_mismatches={overall['session_mismatch_rejections']}"
+    )
+    for site_id, entry in sorted(report["sites"].items()):
+        curve = entry.get("drain_curve")
+        if curve:
+            points = "  ".join(f"t={t:.0f}:{int(v)}" for t, v in curve[:12])
+            suffix = " ..." if len(curve) > 12 else ""
+            lines.append(f"drain site {site_id}: {points}{suffix}")
+    return "\n".join(lines)

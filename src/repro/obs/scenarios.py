@@ -1,0 +1,62 @@
+"""Named traced scenarios: one representative cell per experiment.
+
+``repro trace`` and ``repro metrics`` need a *single* system run with
+spans enabled. The experiment grids are no good for that: their cells
+run inside worker processes, where the :class:`~repro.obs.Observability`
+bundle (and its span stream) would be lost at the pickle boundary. Each
+experiment module therefore exposes a ``traced_scenario(seed)`` that
+mirrors one representative cell of its grid on a small configuration,
+built on :func:`repro.harness.runner.build_traced_scheme`; this module
+is the dispatch table over them.
+
+Every ``traced_scenario`` returns ``(kernel, system, obs, summary)``
+where ``summary`` is a small dict of the numbers the mirrored cell would
+have reported; :func:`run_traced` wraps that in a :class:`TracedRun`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+import typing
+
+SCENARIO_MODULES: dict[str, str] = {
+    "e1": "repro.harness.experiments.e1_availability",
+    "e2": "repro.harness.experiments.e2_resume",
+    "e3": "repro.harness.experiments.e3_overhead",
+    "e4": "repro.harness.experiments.e4_copiers",
+    "e5": "repro.harness.experiments.e5_identification",
+    "e6": "repro.harness.experiments.e6_multifailure",
+    "e7": "repro.harness.experiments.e7_control_cost",
+    "e8": "repro.harness.experiments.e8_serializability",
+}
+
+
+@dataclasses.dataclass
+class TracedRun:
+    """A finished scenario run plus its observability bundle."""
+
+    experiment: str
+    kernel: typing.Any
+    system: typing.Any
+    obs: typing.Any
+    summary: dict
+
+
+def scenario_names() -> list[str]:
+    """The experiment ids that have a traced scenario."""
+    return sorted(SCENARIO_MODULES)
+
+
+def run_traced(experiment: str, seed: int = 0) -> TracedRun:
+    """Run the named experiment's traced scenario to completion."""
+    try:
+        module_name = SCENARIO_MODULES[experiment]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {experiment!r}; "
+            f"choose from {', '.join(scenario_names())}"
+        ) from None
+    module = importlib.import_module(module_name)
+    kernel, system, obs, summary = module.traced_scenario(seed)
+    return TracedRun(experiment, kernel, system, obs, summary)

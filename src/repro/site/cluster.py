@@ -6,6 +6,7 @@ import typing
 
 from repro.net.latency import LatencyModel
 from repro.net.network import Network
+from repro.obs import Observability
 from repro.sim.kernel import Kernel
 from repro.site.detector import FailureDetector
 from repro.site.site import Site, SiteStatus
@@ -39,14 +40,17 @@ class Cluster:
         latency: LatencyModel | None = None,
         detection_delay: float = 5.0,
         loss_probability: float = 0.0,
+        obs: Observability | None = None,
     ) -> None:
         if n_sites < 1:
             raise ValueError(f"need at least one site, got {n_sites}")
         self.kernel = kernel
+        self.obs = obs if obs is not None else Observability(kernel)
         self.network = Network(kernel, latency=latency, loss_probability=loss_probability)
         self.detection_delay = detection_delay
         self.sites: dict[int, Site] = {
-            site_id: Site(kernel, self.network, site_id) for site_id in range(1, n_sites + 1)
+            site_id: Site(kernel, self.network, site_id, obs=self.obs)
+            for site_id in range(1, n_sites + 1)
         }
         self.detectors: dict[int, FailureDetector] = {
             site_id: FailureDetector(site_id, self.site_ids) for site_id in self.sites

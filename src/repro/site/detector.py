@@ -26,6 +26,9 @@ class FailureDetector:
         self._all_sites = tuple(all_sites)
         self._up: set[int] = set(all_sites)
         self._down_callbacks: list[typing.Callable[[int], None]] = []
+        #: Down transitions observed over this detector's lifetime
+        #: (scraped by the obs layer; reset() does not clear it).
+        self.down_events = 0
 
     def believes_up(self, site_id: int) -> bool:
         """True if this detector has not (yet) seen ``site_id`` crash."""
@@ -44,6 +47,7 @@ class FailureDetector:
         if site_id not in self._up:
             return
         self._up.discard(site_id)
+        self.down_events += 1
         for callback in list(self._down_callbacks):
             callback(site_id)
 

@@ -8,6 +8,7 @@ import typing
 from repro.errors import InvalidStateTransition
 from repro.net.network import Network
 from repro.net.rpc import RpcNode
+from repro.obs import Observability
 from repro.sim.kernel import Kernel
 from repro.sim.process import Process
 from repro.storage.copies import CopyStore
@@ -34,10 +35,19 @@ class Site:
     site itself is protocol-agnostic substrate.
     """
 
-    def __init__(self, kernel: Kernel, network: Network, site_id: int) -> None:
+    def __init__(
+        self,
+        kernel: Kernel,
+        network: Network,
+        site_id: int,
+        obs: "Observability | None" = None,
+    ) -> None:
         self.kernel = kernel
         self.site_id = site_id
-        self.rpc = RpcNode(kernel, network, site_id)
+        #: Shared observability bundle; components living on this site
+        #: (DM, TM, copier, recovery) reach it as ``self.site.obs``.
+        self.obs = obs if obs is not None else Observability(kernel)
+        self.rpc = RpcNode(kernel, network, site_id, obs=self.obs)
         self.stable = StableStorage()
         self.copies = CopyStore(site_id)
         self.status = SiteStatus.DOWN

@@ -15,6 +15,8 @@ import typing
 from repro.errors import TransactionAborted
 from repro.histories.recorder import HistoryRecorder
 from repro.net.latency import LatencyModel
+from repro.obs import Observability
+from repro.obs.instrument import instrument_system
 from repro.sim.kernel import Kernel
 from repro.sim.process import Process
 from repro.site.cluster import Cluster
@@ -69,6 +71,7 @@ class DatabaseSystem:
         detection_delay: float = 5.0,
         loss_probability: float = 0.0,
         concurrency: str = "2pl",
+        obs: Observability | None = None,
     ) -> None:
         from repro.net.messages import reset_msg_counter
         from repro.txn.transaction import reset_txn_counter
@@ -77,12 +80,14 @@ class DatabaseSystem:
         reset_msg_counter()
         self.kernel = kernel
         self.config = config if config is not None else TxnConfig()
+        self.obs = obs if obs is not None else Observability(kernel)
         self.cluster = Cluster(
             kernel,
             n_sites,
             latency=latency,
             detection_delay=detection_delay,
             loss_probability=loss_probability,
+            obs=self.obs,
         )
         self.catalog = (
             catalog
@@ -134,6 +139,7 @@ class DatabaseSystem:
             self.cluster.detector(site_id).on_down(
                 lambda crashed, dm=dm: dm.resolve_orphans_of(crashed)
             )
+        instrument_system(self)
 
     def _live_lock_managers(self):
         return [

@@ -29,6 +29,11 @@ class TxnContext:
         self.txn = txn
         self.view: dict[int, int] = txn.view  # site -> nominal session seen
 
+    @property
+    def _span(self) -> int | None:
+        """Span parent for DM calls: the transaction's root span id."""
+        return self.txn.span_id
+
     # -- logical operations (user programs) ------------------------------------
 
     def read(self, item: str) -> typing.Generator:
@@ -61,7 +66,8 @@ class TxnContext:
         )
         self.txn.touched_sites.add(site_id)
         reply = yield self.tm.rpc.call(
-            site_id, "dm.read", request, timeout=self.tm.config.rpc_timeout
+            site_id, "dm.read", request, timeout=self.tm.config.rpc_timeout,
+            span_parent=self._span,
         )
         return reply
 
@@ -88,7 +94,8 @@ class TxnContext:
         )
         self.txn.touched_sites.add(site_id)
         reply = yield self.tm.rpc.call(
-            site_id, "dm.read_batch", request, timeout=self.tm.config.rpc_timeout
+            site_id, "dm.read_batch", request, timeout=self.tm.config.rpc_timeout,
+            span_parent=self._span,
         )
         return reply
 
@@ -117,7 +124,10 @@ class TxnContext:
             missed_sites=missed_sites,
         )
         self.txn.touched_sites.add(site_id)
-        yield self.tm.rpc.call(site_id, "dm.write", request, timeout=self.tm.config.rpc_timeout)
+        yield self.tm.rpc.call(
+            site_id, "dm.write", request, timeout=self.tm.config.rpc_timeout,
+            span_parent=self._span,
+        )
         self.txn.wrote_sites.add(site_id)
         return None
 
@@ -154,7 +164,8 @@ class TxnContext:
             self.txn.touched_sites.add(site_id)
             futures.append(
                 (site_id, self.tm.rpc.call(site_id, "dm.write", request,
-                                           timeout=self.tm.config.rpc_timeout))
+                                           timeout=self.tm.config.rpc_timeout,
+                                           span_parent=self._span))
             )
         for site_id, future in futures:
             yield future
@@ -163,4 +174,7 @@ class TxnContext:
 
     def release_site(self, site_id: int) -> None:
         """Fire-and-forget lock release at one site (no reply awaited)."""
-        self.tm.rpc.call(site_id, "dm.release", FinishRequest(self.txn.txn_id))
+        self.tm.rpc.call(
+            site_id, "dm.release", FinishRequest(self.txn.txn_id),
+            span_parent=self._span,
+        )

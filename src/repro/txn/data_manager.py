@@ -87,7 +87,9 @@ class DataManager:
         self.site = site
         self.recorder = recorder
         self.config = config
-        self.lock_manager = LockManager(kernel, site.site_id, config.lock_wait_timeout)
+        self.lock_manager = LockManager(
+            kernel, site.site_id, config.lock_wait_timeout, obs=site.obs
+        )
         self.actual_session = 0  # as[k]; volatile, set by the session manager
         self._participations: dict[str, _Participation] = {}
         self._decided: dict[str, tuple[str, Version | None]] = {}
@@ -117,7 +119,8 @@ class DataManager:
 
     def _on_crash(self) -> None:
         self.lock_manager = LockManager(
-            self.kernel, self.site_id, self.config.lock_wait_timeout
+            self.kernel, self.site_id, self.config.lock_wait_timeout,
+            obs=self.site.obs,
         )
         self._participations.clear()
         self._decided.clear()

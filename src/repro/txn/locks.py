@@ -32,6 +32,9 @@ from repro.errors import DeadlockDetected
 from repro.sim.events import Future
 from repro.sim.kernel import Callback, Kernel
 
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs import Observability
+
 
 class LockMode(enum.Enum):
     S = "S"
@@ -55,6 +58,8 @@ class _Request:
     #: The wait-timeout backstop timer, cancelled lazily when the request
     #: leaves the queue by any other route (grant, abandon, victim kill).
     timer: Callback | None = None
+    #: Sim-time the request joined the queue (wait-time instrumentation).
+    enqueued_at: float = 0.0
 
 
 class _LockState:
@@ -81,10 +86,17 @@ class LockManager:
         detector has not run (None disables).
     """
 
-    def __init__(self, kernel: Kernel, site_id: int, wait_timeout: float | None = None) -> None:
+    def __init__(
+        self,
+        kernel: Kernel,
+        site_id: int,
+        wait_timeout: float | None = None,
+        obs: "Observability | None" = None,
+    ) -> None:
         self.kernel = kernel
         self.site_id = site_id
         self.wait_timeout = wait_timeout
+        self.obs = obs
         self._table: dict[str, _LockState] = {}
         self._held_by_txn: dict[str, set[str]] = {}
         self.stats_waits = 0
@@ -117,6 +129,7 @@ class LockManager:
             return future
 
         self.stats_waits += 1
+        request.enqueued_at = self.kernel.now
         if upgrade:
             state.queue.appendleft(request)
         else:
@@ -253,10 +266,31 @@ class LockManager:
             state.holders[head.txn_id] = head.mode
             self._held_by_txn.setdefault(head.txn_id, set()).add(item)
             self.stats_grants += 1
+            self._record_wait(item, head)
             if not head.future.triggered:
                 head.future.succeed()
             if head.mode is LockMode.X:
                 break
+
+    def _record_wait(self, item: str, request: _Request) -> None:
+        """Instrument a grant that had to queue: histogram + causal span.
+
+        Called only on the waited path (never on immediate grants), so
+        the uninstrumented fast path stays untouched.
+        """
+        obs = self.obs
+        if obs is None:
+            return
+        obs.registry.histogram("locks.wait_time", self.site_id).observe(
+            self.kernel.now - request.enqueued_at
+        )
+        if obs.spans_on:
+            recorder = obs.spans
+            recorder.complete(
+                f"lock-wait:{item}", "lock", self.site_id, request.enqueued_at,
+                parent=recorder.root_of(request.txn_id),
+                txn_id=request.txn_id, mode=request.mode.value,
+            )
 
     def _compatible_with_holders(self, state: _LockState, request: _Request) -> bool:
         return all(

@@ -137,14 +137,30 @@ class TransactionManager:
         """
         return self.site.spawn(self.run(program, kind), name=f"txn:{kind.value}")
 
-    def run(self, program: TxnProgram, kind: TxnKind = TxnKind.USER) -> typing.Generator:
-        """Transaction body; drive with ``yield from`` or via :meth:`submit`."""
+    def run(
+        self,
+        program: TxnProgram,
+        kind: TxnKind = TxnKind.USER,
+        parent_span: int | None = None,
+    ) -> typing.Generator:
+        """Transaction body; drive with ``yield from`` or via :meth:`submit`.
+
+        ``parent_span`` nests the transaction's root span under another
+        span when tracing is on (e.g. a copier refresh round or a
+        recovery run spawning control transactions).
+        """
         if kind is TxnKind.USER and (
             not self.site.is_operational or self.site.user_frozen
         ):
             self.stats.refused += 1
             raise NotOperational(self.site_id)
         txn = Transaction(home_site=self.site_id, kind=kind, start_time=self.kernel.now)
+        obs = self.site.obs
+        if obs.spans_on:
+            txn.span = obs.spans.start(
+                f"txn:{txn.txn_id}", kind.value, self.site_id,
+                parent=parent_span, txn_id=txn.txn_id,
+            )
         ctx = TxnContext(self, txn)
         self._active.add(txn.txn_id)
         try:
@@ -176,9 +192,31 @@ class TransactionManager:
                 ctx.release_site(site_id)
             return
 
+        obs = self.site.obs
+        two_pc = None
+        if obs.spans_on and txn.span is not None:
+            two_pc = obs.spans.start(
+                "2pc", "2pc", self.site_id, parent=txn.span.span_id
+            )
+        try:
+            yield from self._commit_2pc(ctx, write_sites, read_only_sites, two_pc)
+        finally:
+            if two_pc is not None:
+                obs.spans.finish(two_pc, outcome=txn.status.value)
+
+    def _commit_2pc(
+        self,
+        ctx: TxnContext,
+        write_sites: list[int],
+        read_only_sites: list[int],
+        two_pc,
+    ) -> typing.Generator:
+        txn = ctx.txn
+        span_parent = two_pc.span_id if two_pc is not None else None
         prepare = PrepareRequest(txn_id=txn.txn_id, participants=tuple(write_sites))
         votes = self.rpc.call_many(
-            write_sites, "dm.prepare", prepare, timeout=self.config.rpc_timeout
+            write_sites, "dm.prepare", prepare, timeout=self.config.rpc_timeout,
+            span_parent=span_parent,
         )
         all_yes = True
         for _site_id, future in votes:
@@ -199,7 +237,7 @@ class TransactionManager:
         self._finish(txn, TxnStatus.COMMITTED, version)
         acks = self.rpc.call_many(
             write_sites, "dm.commit", CommitRequest(txn.txn_id, version),
-            timeout=self.config.rpc_timeout,
+            timeout=self.config.rpc_timeout, span_parent=span_parent,
         )
         for site_id in read_only_sites:
             ctx.release_site(site_id)
@@ -214,7 +252,7 @@ class TransactionManager:
         self._finish(txn, TxnStatus.ABORTED, None, reason=_reason_of(cause))
         acks = self.rpc.call_many(
             sorted(txn.touched_sites), "dm.abort", FinishRequest(txn.txn_id),
-            timeout=self.config.rpc_timeout,
+            timeout=self.config.rpc_timeout, span_parent=txn.span_id,
         )
         for _site_id, future in acks:
             try:
@@ -227,7 +265,10 @@ class TransactionManager:
         txn = ctx.txn
         self._finish(txn, TxnStatus.ABORTED, None, reason=reason)
         if self.site.rpc.running:
-            self.rpc.call_many(sorted(txn.touched_sites), "dm.abort", FinishRequest(txn.txn_id))
+            self.rpc.call_many(
+                sorted(txn.touched_sites), "dm.abort", FinishRequest(txn.txn_id),
+                span_parent=txn.span_id,
+            )
 
     def _finish(
         self,
@@ -240,6 +281,12 @@ class TransactionManager:
         txn.end_time = self.kernel.now
         txn.abort_reason = reason
         self._active.discard(txn.txn_id)
+        obs = self.site.obs
+        obs.registry.histogram("txn.latency", self.site_id).observe(
+            txn.end_time - txn.start_time
+        )
+        if txn.span is not None:
+            obs.spans.finish(txn.span, status=status.value, reason=reason)
         if status is TxnStatus.COMMITTED:
             if txn.wrote_sites:
                 # The commit point: force the decision to stable storage

@@ -1,10 +1,21 @@
-"""Typed payloads of the TM↔DM protocol messages."""
+"""Typed payloads of the TM↔DM protocol messages.
+
+Each payload exposes a ``wire_size`` property — a coarse serialized-size
+model (identifier strings at one byte per character, numbers and flags at
+8 bytes each) used by the network layer's byte accounting
+(:class:`~repro.net.network.NetworkStats`). The absolute numbers are
+nominal; what matters for the E3/E7 overhead experiments is that batched
+requests weigh proportionally to their item count.
+"""
 
 from __future__ import annotations
 
 import dataclasses
 
 from repro.storage.copies import Version
+
+#: Fixed cost of txn_id + seq + kind + flags in the size model.
+_HEADER_BYTES = 24
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -30,6 +41,10 @@ class ReadRequest:
     (for the §5 version-number optimisation) and is not recorded in the
     history — it reads metadata, not the database."""
 
+    @property
+    def wire_size(self) -> int:
+        return _HEADER_BYTES + len(self.item)
+
 
 @dataclasses.dataclass(frozen=True, slots=True)
 class BatchReadRequest:
@@ -50,6 +65,10 @@ class BatchReadRequest:
     items: tuple[str, ...]
     expected: int | None = None
     privileged: bool = False
+
+    @property
+    def wire_size(self) -> int:
+        return _HEADER_BYTES + sum(len(item) for item in self.items)
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -76,6 +95,16 @@ class WriteRequest:
     """Resident sites the writer skipped because they were nominally down;
     their copies miss this update (fail-locks / missing-list entries)."""
 
+    @property
+    def wire_size(self) -> int:
+        return (
+            _HEADER_BYTES
+            + len(self.item)
+            + 8  # the value, modeled as one word
+            + 8 * (len(self.applied_sites) + len(self.missed_sites))
+            + (16 if self.version_override is not None else 0)
+        )
+
 
 @dataclasses.dataclass(frozen=True, slots=True)
 class PrepareRequest:
@@ -83,6 +112,10 @@ class PrepareRequest:
 
     txn_id: str
     participants: tuple[int, ...]
+
+    @property
+    def wire_size(self) -> int:
+        return _HEADER_BYTES + 8 * len(self.participants)
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -92,6 +125,10 @@ class CommitRequest:
     txn_id: str
     version: Version
 
+    @property
+    def wire_size(self) -> int:
+        return _HEADER_BYTES + 16
+
 
 @dataclasses.dataclass(frozen=True, slots=True)
 class FinishRequest:
@@ -99,9 +136,17 @@ class FinishRequest:
 
     txn_id: str
 
+    @property
+    def wire_size(self) -> int:
+        return _HEADER_BYTES
+
 
 @dataclasses.dataclass(frozen=True, slots=True)
 class OutcomeQuery:
     """Ask a TM or DM what it knows about a transaction's fate."""
 
     txn_id: str
+
+    @property
+    def wire_size(self) -> int:
+        return _HEADER_BYTES

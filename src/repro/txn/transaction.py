@@ -5,6 +5,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 import itertools
+import typing
 
 _txn_counter = itertools.count(1)
 
@@ -72,6 +73,13 @@ class Transaction:
     view: dict[int, int] = dataclasses.field(default_factory=dict)
     touched_sites: set[int] = dataclasses.field(default_factory=set)
     wrote_sites: set[int] = dataclasses.field(default_factory=set)
+    #: Root observability span (repro.obs.spans.Span) when tracing is on.
+    span: typing.Any = dataclasses.field(default=None, repr=False)
+
+    @property
+    def span_id(self) -> int | None:
+        """This transaction's root span id, for RPC attribution."""
+        return self.span.span_id if self.span is not None else None
 
     @property
     def txn_id(self) -> str:

@@ -49,8 +49,22 @@ class TestMetrics:
         values = list(range(1, 101))
         assert percentile(values, 0) == 1
         assert percentile(values, 100) == 100
-        assert percentile(values, 50) == 50 or percentile(values, 50) == 51
+        assert percentile(values, 50) == 51  # rank floor(49.5+0.5) = 50
         assert percentile([], 95) == 0.0
 
     def test_percentile_single(self):
         assert percentile([7.0], 95) == 7.0
+        assert percentile([7.0], 0) == 7.0
+        assert percentile([7.0], 100) == 7.0
+
+    def test_percentile_half_up_ties(self):
+        # Two elements: the p50 rank is 0.5, which banker's rounding
+        # (round()) would send to index 0; half-up must pick index 1.
+        assert percentile([1.0, 2.0], 50) == 2.0
+        # Order of the input must not matter.
+        assert percentile([2.0, 1.0], 50) == 2.0
+
+    def test_percentile_out_of_range_clamped(self):
+        values = [1.0, 2.0, 3.0]
+        assert percentile(values, -10) == 1.0
+        assert percentile(values, 250) == 3.0

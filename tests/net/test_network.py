@@ -152,3 +152,60 @@ class TestDelivery:
             net.send(Message(src=1, dst=2, kind="seq", payload=i))
         kernel.run()
         assert order == [0, 1, 2]
+
+
+class TestStatsAccounting:
+    """The S3 conservation laws of the expanded NetworkStats."""
+
+    def test_remote_conservation_with_loss_and_down(self, kernel):
+        net = Network(kernel, latency=ConstantLatency(0.1), loss_probability=0.3)
+        for site in (1, 2, 3):
+            net.attach(site)
+        net.endpoint(3).go_down()
+        for index in range(150):
+            net.send(Message(src=1, dst=2 + index % 2, kind="ping"))
+        kernel.run()
+        stats = net.stats
+        assert stats.sent == stats.delivered + stats.dropped
+        assert stats.dropped == (
+            stats.dropped_dst_down + stats.dropped_src_down
+            + stats.dropped_loss + stats.dropped_partition
+        )
+        # Local traffic is accounted on its own ledger.
+        assert stats.local_sent == stats.local_delivered + stats.dropped_local_down
+
+    def test_local_partition_of_local_sent(self, kernel, net):
+        net.send(Message(src=1, dst=1, kind="self"))
+        net.endpoint(2).go_down()
+        net.send(Message(src=2, dst=2, kind="self"))
+        kernel.run()
+        assert net.stats.local_sent == 2
+        assert net.stats.local_delivered == 1
+        assert net.stats.dropped_local_down == 1
+        assert net.stats.sent == 0  # nothing crossed the network
+
+    def test_delivered_by_kind_and_bytes(self, kernel, net):
+        for _ in range(3):
+            net.send(Message(src=1, dst=2, kind="ping"))
+        net.send(Message(src=1, dst=3, kind="pong"))
+        kernel.run()
+        snapshot = net.stats.snapshot()
+        assert snapshot["delivered_by_kind"] == {"ping": 3, "pong": 1}
+        assert snapshot["by_kind"] == {"ping": 3, "pong": 1}
+        # Bare messages weigh exactly one envelope each.
+        from repro.net.network import ENVELOPE_BYTES
+
+        assert snapshot["bytes_sent"] == 4 * ENVELOPE_BYTES
+        assert snapshot["bytes_delivered"] == 4 * ENVELOPE_BYTES
+
+    def test_payload_wire_size_weights_bytes(self, kernel, net):
+        from repro.net.network import ENVELOPE_BYTES
+        from repro.txn.payloads import ReadRequest
+
+        request = ReadRequest(txn_id="t1", txn_seq=1, kind="user", item="XYZ")
+        net.send(Message(src=1, dst=2, kind="dm.read", payload=request))
+        kernel.run()
+        expected = ENVELOPE_BYTES + request.wire_size
+        assert request.wire_size > 0
+        assert net.stats.bytes_sent == expected
+        assert net.stats.bytes_delivered == expected

@@ -1,0 +1,81 @@
+"""End-to-end tests for ``repro trace`` / ``repro metrics`` (acceptance).
+
+The E2 trace acceptance criterion lives here: the exported Chrome
+trace-event file must contain a user transaction with remote RPC
+children, a type-1 control transaction, and a copier refresh.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.scenarios import run_traced, scenario_names
+
+
+class TestScenarios:
+    def test_all_experiments_have_scenarios(self):
+        assert scenario_names() == [f"e{n}" for n in range(1, 9)]
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            run_traced("e99")
+
+    def test_run_traced_returns_live_bundle(self):
+        run = run_traced("e7", seed=2)
+        assert run.experiment == "e7"
+        assert run.obs is run.system.obs
+        assert run.obs.spans.spans, "spans must be recorded"
+        assert run.summary["status_txns"] >= 2  # exclude + include
+
+
+class TestTraceCli:
+    def test_e2_trace_acceptance(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        jsonl = tmp_path / "stream.jsonl"
+        code = main([
+            "trace", "--experiment", "e2", "--seed", "1",
+            "--out", str(out), "--jsonl", str(jsonl),
+        ])
+        assert code == 0
+        doc = json.loads(out.read_text())
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        cats = {e["cat"] for e in spans}
+        # The three protocol actors the acceptance criterion names:
+        assert "user" in cats
+        assert "control" in cats  # the recovery's type-1 transaction
+        assert "copier_refresh" in cats
+
+        # A user txn with RPC children on a *remote* site.
+        user_ids = {
+            e["args"]["span_id"] for e in spans if e["cat"] == "user"
+        }
+        assert any(
+            e["cat"] == "serve" and e["tid"] in user_ids
+            for e in spans
+        ), "remote serve spans must share a user root's lane"
+
+        # JSONL sidecar was written and the CLI printed the timeline.
+        assert jsonl.exists()
+        printed = capsys.readouterr().out
+        assert "recovery timeline" in printed
+        assert "drain site" in printed
+
+    def test_metrics_subcommand(self, tmp_path, capsys):
+        out = tmp_path / "metrics.json"
+        code = main([
+            "metrics", "--experiment", "e2", "--seed", "1", "--out", str(out),
+        ])
+        assert code == 0
+        doc = json.loads(out.read_text())
+        snapshot = doc["snapshot"]
+        assert snapshot["global"]["recovery.runs"] == 1.0
+        assert snapshot["global"]["copier.refreshes"] >= 1.0
+        printed = capsys.readouterr().out
+        assert "txn.committed" in printed
+        assert "recovery timeline" in printed
+
+    def test_trace_unknown_experiment_fails_cleanly(self, tmp_path):
+        with pytest.raises(ValueError):
+            main(["trace", "--experiment", "e0", "--out",
+                  str(tmp_path / "t.json")])
