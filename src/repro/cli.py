@@ -43,6 +43,7 @@ from repro.harness.experiments import (
     e6_multifailure,
     e7_control_cost,
     e8_serializability,
+    e9_catchup,
 )
 
 Runner = typing.Callable[..., object]
@@ -98,6 +99,12 @@ EXPERIMENTS: dict[str, dict] = {
         "full": dict(trials=5, duration=800.0),
         "small": dict(trials=2, duration=400.0),
     },
+    "e9": {
+        "module": e9_catchup,
+        "title": "catch-up transport: log-shipping vs item copy",
+        "full": dict(n_items=24, missed_updates=(4, 16, 48)),
+        "small": dict(n_items=12, missed_updates=(4, 12)),
+    },
 }
 
 
@@ -110,7 +117,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (e1..e8), 'all', 'list', 'bench', 'trace', "
+        help="experiment id (e1..e9), 'all', 'list', 'bench', 'trace', "
         "or 'metrics'",
     )
     parser.add_argument("--seed", type=int, default=3, help="master seed")

@@ -6,6 +6,7 @@ import dataclasses
 import typing
 
 CopierMode = typing.Literal["eager", "demand", "both", "none"]
+CatchupMode = typing.Literal["item_copy", "log_ship"]
 IdentifyMode = typing.Literal["mark-all", "fail-locks", "missing-lists"]
 UnreadablePolicy = typing.Literal["redirect", "wait"]
 ReadPreference = typing.Literal["local", "primary", "random"]
@@ -57,6 +58,15 @@ class RowaaConfig:
     copier_mode: CopierMode = "both"
     copier_concurrency: int = 4
     copier_retry_delay: float = 10.0
+    catchup_mode: CatchupMode = "item_copy"
+    """How eager catch-up brings unreadable copies current:
+    ``"item_copy"`` — one copier transaction per item reading a remote
+    source copy (§3.2, the paper's scheme); ``"log_ship"`` — stream the
+    missed redo-log suffix from one nominally-up peer in batches,
+    falling back to per-item copy for anything the stream cannot cover
+    (peer truncated the needed records, items not hosted at the peer)."""
+    log_ship_batch: int = 16
+    """Max log records (and validate items) per log-shipping page."""
     identify_mode: IdentifyMode = "mark-all"
     unreadable_policy: UnreadablePolicy = "redirect"
     unreadable_wait: float = 5.0

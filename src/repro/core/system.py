@@ -33,6 +33,7 @@ from repro.errors import InvalidStateTransition
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.partition_merge import MajorityPartitionService, PartitionConfig
     from repro.obs import Observability
+    from repro.wal import WalConfig
 from repro.net.latency import LatencyModel
 from repro.obs.instrument import instrument_rowaa
 from repro.storage.copies import Version
@@ -64,6 +65,7 @@ class RowaaSystem(DatabaseSystem):
         partition_mode: bool = False,
         partition_config: "PartitionConfig | None" = None,
         obs: "Observability | None" = None,
+        wal_config: "WalConfig | None" = None,
     ) -> None:
         self.rowaa_config = rowaa_config if rowaa_config is not None else RowaaConfig()
 
@@ -97,6 +99,7 @@ class RowaaSystem(DatabaseSystem):
             loss_probability=loss_probability,
             concurrency=concurrency,
             obs=obs,
+            wal_config=wal_config,
         )
 
         self.sessions: dict[int, SessionManager] = {}
@@ -227,6 +230,8 @@ class RowaaSystem(DatabaseSystem):
             site.copies.apply_write(ns_item(other), value, stamp)
         for item in list(site.copies.items()):
             site.copies.clear_unreadable(item)
+        if site.wal is not None:
+            site.wal.flush()
         session.activate(new_session, self.kernel.now)
         site.become_operational()
         self.cluster.notify_recovered(site_id)

@@ -18,13 +18,12 @@ consistency violation a user could observe).
 
 from __future__ import annotations
 
-import random
-
 from repro.core.nominal import db_item_filter
 from repro.harness.parallel import Cell, run_cells
 from repro.harness.runner import build_scheme, build_traced_scheme, quiesce
 from repro.harness.tables import Table
 from repro.histories import check_one_sr, check_theorem3
+from repro.sim.rng import RngRegistry
 from repro.workload import ClientPool, FailureSchedule, WorkloadGenerator, WorkloadSpec
 
 SCHEMES = ("rowaa", "rowaa-to", "naive")
@@ -117,15 +116,19 @@ def _one_run(scheme, seed, n_sites, n_items, duration):
         kwargs["concurrency"] = "to"
     kernel, system = build_scheme(scheme, seed, n_sites, spec.initial_items(),
                                   **kwargs)
-    rng = random.Random(seed)
+    # Dedicated registry streams: crash times and workload draws are
+    # independent — changing one never perturbs the other at equal seed.
+    rngs = RngRegistry(seed)
     schedule = FailureSchedule.random_failures(
-        system.cluster.site_ids, rng, horizon=duration * 0.8, mtbf=250, mttr=80
+        system.cluster.site_ids, rngs.stream(FailureSchedule.RNG_STREAM),
+        horizon=duration * 0.8, mtbf=250, mttr=80,
     )
     schedule.apply(system)
     # Home clients on every site; reads may thus hit rejoined stale
     # copies under the naive scheme — exactly its failure mode.
     pool = ClientPool(
-        system, WorkloadGenerator(spec, rng), n_clients=5, think_time=4.0, retries=2
+        system, WorkloadGenerator(spec, rngs.stream("workload.generator")),
+        n_clients=5, think_time=4.0, retries=2,
     )
     pool.start(duration)
     kernel.run(until=duration)
@@ -147,13 +150,15 @@ def traced_scenario(seed: int = 0):
     kernel, system, obs = build_traced_scheme(
         "rowaa", seed, n_sites, spec.initial_items()
     )
-    rng = random.Random(seed)
+    rngs = RngRegistry(seed)
     schedule = FailureSchedule.random_failures(
-        system.cluster.site_ids, rng, horizon=duration * 0.8, mtbf=150, mttr=60
+        system.cluster.site_ids, rngs.stream(FailureSchedule.RNG_STREAM),
+        horizon=duration * 0.8, mtbf=150, mttr=60,
     )
     schedule.apply(system)
     pool = ClientPool(
-        system, WorkloadGenerator(spec, rng), n_clients=4, think_time=4.0, retries=2
+        system, WorkloadGenerator(spec, rngs.stream("workload.generator")),
+        n_clients=4, think_time=4.0, retries=2,
     )
     pool.start(duration)
     kernel.run(until=duration)

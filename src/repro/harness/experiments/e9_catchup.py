@@ -1,0 +1,225 @@
+"""E9 — catch-up transports: log-shipping vs per-item copy.
+
+The paper's copiers (§3.2) move one item per transaction, reading a full
+remote copy even when the recovering site missed a single update. With a
+per-site redo log (``repro.wal``) the recovering site can instead stream
+exactly the log suffix it missed from one nominally-up peer.
+
+Design: crash a site, land ``missed`` committed updates elsewhere,
+reboot, and measure the network bytes the catch-up phase moves under
+each ``catchup_mode`` until the site is fully current. A third cell
+variant aggressively truncates the peers' logs (``retain_records=0``)
+so the stream is refused and log-shipping must fall back to per-item
+copy — correctness is preserved, the byte advantage is not.
+
+Expected shape: for short outages log-shipping moves strictly fewer
+bytes (records touched, not items held) and never falls back; after
+truncation it degrades to exactly the item-copy behaviour. Both modes
+end fully current with identical values.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import RowaaConfig
+from repro.harness.parallel import Cell, run_cells
+from repro.harness.runner import build_scheme, build_traced_scheme, cell_seed, settle
+from repro.harness.tables import Table
+from repro.wal import WalConfig
+
+MODES = ("log_ship", "item_copy")
+
+
+def plan(
+    seed: int = 0,
+    n_sites: int = 3,
+    n_items: int = 24,
+    missed_updates: tuple[int, ...] = (4, 16),
+    modes: tuple[str, ...] = MODES,
+    truncated_cell: bool = True,
+) -> list[Cell]:
+    """mode x missed grid, plus one truncated-peer cell per mode."""
+    cells = [
+        Cell(
+            "e9",
+            _one_cell,
+            dict(
+                seed=seed, n_sites=n_sites, n_items=n_items,
+                missed=missed, mode=mode, truncate=False,
+            ),
+            dict(mode=mode, missed=missed, truncated=False),
+        )
+        for mode in modes
+        for missed in missed_updates
+    ]
+    if truncated_cell:
+        for mode in modes:
+            cells.append(
+                Cell(
+                    "e9",
+                    _one_cell,
+                    dict(
+                        seed=seed, n_sites=n_sites, n_items=n_items,
+                        missed=max(missed_updates), mode=mode, truncate=True,
+                    ),
+                    dict(mode=mode, missed=max(missed_updates), truncated=True),
+                )
+            )
+    return cells
+
+
+def assemble(
+    cells: list[Cell], results: list, n_items: int = 24, **_params
+) -> Table:
+    table = Table(
+        f"E9: catch-up transport (items={n_items})",
+        [
+            "mode",
+            "missed",
+            "truncated",
+            "net_bytes",
+            "shipped",
+            "applied",
+            "validated",
+            "copied",
+            "skips",
+            "fell_back",
+            "t_fully_current",
+            "state",
+        ],
+    )
+    for cell, result in zip(cells, results):
+        table.add_row(
+            mode=cell.tag["mode"],
+            missed=cell.tag["missed"],
+            truncated=cell.tag["truncated"],
+            **result,
+        )
+    return table
+
+
+def run(
+    seed: int = 0,
+    n_sites: int = 3,
+    n_items: int = 24,
+    missed_updates: tuple[int, ...] = (4, 16),
+    modes: tuple[str, ...] = MODES,
+    truncated_cell: bool = True,
+    jobs: int | None = None,
+) -> Table:
+    """Catch-up transport comparison table."""
+    params = dict(
+        seed=seed, n_sites=n_sites, n_items=n_items,
+        missed_updates=missed_updates, modes=modes,
+        truncated_cell=truncated_cell,
+    )
+    cells = plan(**params)
+    results, _timings = run_cells(cells, jobs=jobs)
+    return assemble(cells, results, **params)
+
+
+def _write_program(item, value):
+    def program(ctx):
+        yield from ctx.write(item, value)
+
+    return program
+
+
+def _state_fingerprint(system, site_id, n_items):
+    """Order-independent digest of the site's user-item values."""
+    import hashlib
+
+    text = ";".join(
+        f"X{i}={system.copy_value(site_id, f'X{i}')!r}" for i in range(n_items)
+    )
+    return hashlib.sha256(text.encode()).hexdigest()[:12]
+
+
+def _run_outage(seed, n_sites, n_items, missed, mode, truncate):
+    items = {f"X{i}": 0 for i in range(n_items)}
+    rowaa_config = RowaaConfig(
+        copier_mode="eager", catchup_mode=mode, log_ship_batch=8
+    )
+    wal_config = (
+        WalConfig(checkpoint_every=4, retain_records=0) if truncate else WalConfig()
+    )
+    kernel, system = build_scheme(
+        "rowaa", cell_seed("e9", seed, mode, missed, truncate), n_sites, items,
+        rowaa_config=rowaa_config, wal_config=wal_config,
+    )
+    victim = n_sites
+    system.crash(victim)
+    settle(kernel, system, 80.0)
+    for index in range(missed):
+        kernel.run(
+            system.submit_with_retry(
+                1, _write_program(f"X{index % n_items}", 100 + index), attempts=4
+            )
+        )
+    bytes_before = system.cluster.network.stats.bytes_sent
+    power_at = kernel.now
+    kernel.run(system.power_on(victim))
+    kernel.run(until=kernel.now + 600.0)
+    system.stop()
+    kernel.run(until=kernel.now + 10)
+    net_bytes = system.cluster.network.stats.bytes_sent - bytes_before
+    return kernel, system, victim, power_at, net_bytes
+
+
+def _summarise(kernel, system, victim, power_at, net_bytes, n_items):
+    copiers = system.copiers[victim]
+    stats = copiers.stats
+    drained = copiers.drained_at
+    return {
+        "net_bytes": net_bytes,
+        "shipped": stats.records_shipped,
+        "applied": stats.ship_applied,
+        "validated": stats.ship_validated,
+        "copied": stats.copies_performed,
+        "skips": stats.copies_skipped_version,
+        "fell_back": int(
+            stats.ship_fallback_truncated > 0 or stats.ship_fallback_items > 0
+        ),
+        "t_fully_current": (drained - power_at) if drained is not None else None,
+        "state": _state_fingerprint(system, victim, n_items),
+    }
+
+
+def _one_cell(seed, n_sites, n_items, missed, mode, truncate):
+    kernel, system, victim, power_at, net_bytes = _run_outage(
+        seed, n_sites, n_items, missed, mode, truncate
+    )
+    return _summarise(kernel, system, victim, power_at, net_bytes, n_items)
+
+
+def traced_scenario(seed: int = 0):
+    """One traced log-shipping recovery for ``repro trace``.
+
+    The trace shows the wal.ship RPC pages, the copier-kind apply
+    transactions, and the wal.checkpoint/restore spans around them.
+    """
+    n_sites, n_items, missed = 3, 12, 6
+    items = {f"X{i}": 0 for i in range(n_items)}
+    kernel, system, obs = build_traced_scheme(
+        "rowaa", cell_seed("e9-trace", seed), n_sites, items,
+        rowaa_config=RowaaConfig(
+            copier_mode="eager", catchup_mode="log_ship", log_ship_batch=4
+        ),
+    )
+    victim = n_sites
+    system.crash(victim)
+    settle(kernel, system, 80.0)
+    for index in range(missed):
+        kernel.run(
+            system.submit_with_retry(
+                1, _write_program(f"X{index}", 100 + index), attempts=4
+            )
+        )
+    bytes_before = system.cluster.network.stats.bytes_sent
+    power_at = kernel.now
+    kernel.run(system.power_on(victim))
+    kernel.run(until=kernel.now + 400.0)
+    system.stop()
+    kernel.run(until=kernel.now + 10)
+    net_bytes = system.cluster.network.stats.bytes_sent - bytes_before
+    summary = _summarise(kernel, system, victim, power_at, net_bytes, n_items)
+    return kernel, system, obs, summary

@@ -68,9 +68,34 @@ def instrument_system(system: typing.Any) -> None:
             values[("detector.down_events", site_id)] = float(detector.down_events)
         return values
 
+    def collect_wal() -> dict:
+        values: dict = {}
+        for site_id in system.cluster.site_ids:
+            wal = system.cluster.site(site_id).wal
+            if wal is None:
+                continue
+            stats = wal.stats
+            values[("wal.records_appended", site_id)] = float(stats.records_appended)
+            values[("wal.flushes", site_id)] = float(stats.flushes)
+            values[("wal.records_flushed", site_id)] = float(stats.records_flushed)
+            values[("wal.bytes_flushed", site_id)] = float(stats.bytes_flushed)
+            values[("wal.checkpoints", site_id)] = float(stats.checkpoints)
+            values[("wal.replays", site_id)] = float(stats.replays)
+            values[("wal.records_replayed", site_id)] = float(stats.records_replayed)
+            values[("wal.records_lost_unflushed", site_id)] = float(
+                stats.records_lost_unflushed
+            )
+            values[("wal.durable_lsn", site_id)] = float(wal.log.durable_lsn)
+            values[("wal.checkpoint_lag", site_id)] = float(wal.checkpoint_lag)
+            values[("wal.truncated_records", site_id)] = float(
+                wal.log.truncated_records
+            )
+        return values
+
     registry.add_collector(collect_kernel)
     registry.add_collector(collect_network)
     registry.add_collector(collect_sites)
+    registry.add_collector(collect_wal)
 
     # Timeline instants: site lifecycle + transaction finish. The hooks
     # are always attached (cheap: one call per lifecycle event / txn
@@ -125,6 +150,20 @@ def instrument_rowaa(system: typing.Any) -> None:
                 stats.cleared_by_user_write
             )
             values[("copier.bytes_copied", site_id)] = float(stats.bytes_copied)
+            values[("copier.ship_batches", site_id)] = float(stats.ship_batches)
+            values[("copier.records_shipped", site_id)] = float(stats.records_shipped)
+            values[("copier.ship_applied", site_id)] = float(stats.ship_applied)
+            values[("copier.ship_validated", site_id)] = float(stats.ship_validated)
+            values[("copier.ship_bytes", site_id)] = float(stats.ship_bytes)
+            values[("copier.ship_served_records", site_id)] = float(
+                stats.ship_served_records
+            )
+            values[("copier.ship_fallback_truncated", site_id)] = float(
+                stats.ship_fallback_truncated
+            )
+            values[("copier.ship_fallback_items", site_id)] = float(
+                stats.ship_fallback_items
+            )
         for site_id, manager in system.recoveries.items():
             records = manager.records
             values[("recovery.runs", site_id)] = float(len(records))

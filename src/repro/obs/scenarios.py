@@ -29,6 +29,7 @@ SCENARIO_MODULES: dict[str, str] = {
     "e6": "repro.harness.experiments.e6_multifailure",
     "e7": "repro.harness.experiments.e7_control_cost",
     "e8": "repro.harness.experiments.e8_serializability",
+    "e9": "repro.harness.experiments.e9_catchup",
 }
 
 

@@ -10,6 +10,7 @@ from repro.obs import Observability
 from repro.sim.kernel import Kernel
 from repro.site.detector import FailureDetector
 from repro.site.site import Site, SiteStatus
+from repro.wal import WalConfig
 
 
 class Cluster:
@@ -41,6 +42,7 @@ class Cluster:
         detection_delay: float = 5.0,
         loss_probability: float = 0.0,
         obs: Observability | None = None,
+        wal_config: WalConfig | None = None,
     ) -> None:
         if n_sites < 1:
             raise ValueError(f"need at least one site, got {n_sites}")
@@ -49,7 +51,9 @@ class Cluster:
         self.network = Network(kernel, latency=latency, loss_probability=loss_probability)
         self.detection_delay = detection_delay
         self.sites: dict[int, Site] = {
-            site_id: Site(kernel, self.network, site_id, obs=self.obs)
+            site_id: Site(
+                kernel, self.network, site_id, obs=self.obs, wal_config=wal_config
+            )
             for site_id in range(1, n_sites + 1)
         }
         self.detectors: dict[int, FailureDetector] = {

@@ -13,6 +13,7 @@ from repro.sim.kernel import Kernel
 from repro.sim.process import Process
 from repro.storage.copies import CopyStore
 from repro.storage.stable import StableStorage
+from repro.wal import SiteWal, WalConfig
 
 
 class SiteStatus(enum.Enum):
@@ -41,6 +42,7 @@ class Site:
         network: Network,
         site_id: int,
         obs: "Observability | None" = None,
+        wal_config: WalConfig | None = None,
     ) -> None:
         self.kernel = kernel
         self.site_id = site_id
@@ -58,6 +60,13 @@ class Site:
         self.user_frozen = False
         self.crash_hooks: list[typing.Callable[[], None]] = []
         self.power_on_hooks: list[typing.Callable[[], None]] = []
+        #: Durability layer: journals committed copy mutations and, at
+        #: power-on, rebuilds copies/session state from checkpoint + log
+        #: replay (None when disabled — legacy crash semantics).
+        wal_config = wal_config if wal_config is not None else WalConfig()
+        self.wal: SiteWal | None = (
+            SiteWal(self, wal_config) if wal_config.enabled else None
+        )
         self._procs: set[Process] = set()
         # Lifecycle bookkeeping for recovery-latency metrics (E2).
         self.last_crash_time: float | None = None
@@ -99,6 +108,11 @@ class Site:
             )
         self.status = SiteStatus.RECOVERING
         self.last_power_on_time = self.kernel.now
+        if self.wal is not None and self.crash_count > 0:
+            # Restart-by-replay happens before any component (RPC
+            # handlers, power-on hooks) can observe the site's state.
+            # Installation boot (never crashed) has nothing to replay.
+            self.wal.restore()
         self.rpc.start()
         for hook in list(self.power_on_hooks):
             hook()

@@ -61,6 +61,11 @@ class CopyStore:
         self.site_id = site_id
         self._copies: dict[str, DataCopy] = {}
         self.bytes_copied = 0  # crude copier work counter (E5)
+        #: Optional redo-journal hook (set by the site's SiteWal): called
+        #: as ``journal(op, item, value, version)`` for every committed
+        #: mutation, with op in {"write", "mark", "clear"}. Duck-typed so
+        #: the storage layer needs no dependency on repro.wal.
+        self.journal: typing.Callable[..., None] | None = None
 
     # -- schema -------------------------------------------------------------
 
@@ -91,20 +96,48 @@ class CopyStore:
         copy.value = value
         copy.version = version
         copy.unreadable = False
+        if self.journal is not None:
+            self.journal("write", item, value, version)
 
     def mark_unreadable(self, item: str) -> None:
         """Flag the copy as possibly stale (recovery step 2, §3.4)."""
         self._copies[item].unreadable = True
+        if self.journal is not None:
+            self.journal("mark", item)
 
     def clear_unreadable(self, item: str) -> None:
         """Validate the copy without changing it (equal-version copier)."""
         self._copies[item].unreadable = False
+        if self.journal is not None:
+            self.journal("clear", item)
 
     def mark_all_unreadable(self) -> None:
         """The basic algorithm's conservative step 2: mark every copy."""
-        for copy in self._copies.values():
+        for item, copy in self._copies.items():
             copy.unreadable = True
+            if self.journal is not None:
+                self.journal("mark", item)
 
     def unreadable_items(self) -> list[str]:
         """Items whose local copy is currently marked unreadable."""
         return [name for name, copy in self._copies.items() if copy.unreadable]
+
+    # -- restart reconstruction (repro.wal restore path) ----------------------
+
+    def reset(self) -> None:
+        """Drop every copy: the restore path rebuilds from checkpoint+log."""
+        self._copies.clear()
+
+    def install(
+        self, item: str, value: object, version: Version, unreadable: bool = False
+    ) -> DataCopy:
+        """Install/overwrite a copy with explicit full state (replay only:
+        unlike :meth:`apply_write`, this sets the mark rather than
+        clearing it and is never journaled by the caller)."""
+        copy = self._copies.get(item)
+        if copy is None:
+            copy = self._copies[item] = DataCopy(item=item, value=value)
+        copy.value = value
+        copy.version = version
+        copy.unreadable = unreadable
+        return copy

@@ -27,6 +27,7 @@ from repro.txn.deadlock import GlobalDeadlockDetector
 from repro.txn.manager import TransactionManager, TxnProgram
 from repro.txn.strategy import ReplicationStrategy
 from repro.txn.transaction import TxnKind
+from repro.wal import WalConfig
 
 StrategyFactory = typing.Callable[["DatabaseSystem"], ReplicationStrategy]
 
@@ -72,6 +73,7 @@ class DatabaseSystem:
         loss_probability: float = 0.0,
         concurrency: str = "2pl",
         obs: Observability | None = None,
+        wal_config: "WalConfig | None" = None,
     ) -> None:
         from repro.net.messages import reset_msg_counter
         from repro.txn.transaction import reset_txn_counter
@@ -88,6 +90,7 @@ class DatabaseSystem:
             detection_delay=detection_delay,
             loss_probability=loss_probability,
             obs=self.obs,
+            wal_config=wal_config,
         )
         self.catalog = (
             catalog
@@ -100,6 +103,13 @@ class DatabaseSystem:
         for item, value in items.items():
             for site_id in self.catalog.sites_of(item):
                 self.cluster.site(site_id).copies.create(item, value)
+        # Genesis checkpoint: the initial database image is durable from
+        # the start, so every later power-on can rebuild purely from
+        # checkpoint + log replay.
+        for site_id in self.cluster.site_ids:
+            site = self.cluster.site(site_id)
+            if site.wal is not None:
+                site.wal.checkpoint()
 
         if concurrency == "2pl":
             dm_class = DataManager

@@ -329,6 +329,10 @@ class DataManager:
                     version=applied,
                 )
         self._decided[txn_id] = ("committed", version)
+        if part.writes and self.site.wal is not None:
+            # Group commit: every record journaled while applying this
+            # transaction's writes becomes durable in one segment write.
+            self.site.wal.on_commit()
         self.lock_manager.cancel(txn_id)
 
     def _apply_abort(self, txn_id: str) -> None:

@@ -172,6 +172,8 @@ class TimestampDataManager(DataManager):
                     version=applied,
                 )
         self._decided[txn_id] = ("committed", version)
+        if part.writes and self.site.wal is not None:
+            self.site.wal.on_commit()  # group commit, as in the 2PL DM
         self.lock_manager.cancel(txn_id)  # no-op safety
 
     def _apply_abort(self, txn_id: str) -> None:

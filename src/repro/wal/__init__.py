@@ -1,0 +1,22 @@
+"""Per-site durability: write-ahead redo log, checkpoints, log shipping.
+
+See docs/DURABILITY.md for the log format and invariants.
+"""
+
+from repro.wal.config import WalConfig
+from repro.wal.log import RedoLog
+from repro.wal.records import LogRecord
+from repro.wal.ship import ShipRecord, ShipReply, ShipRequest
+from repro.wal.wal import RestoreResult, SiteWal, WalStats
+
+__all__ = [
+    "LogRecord",
+    "RedoLog",
+    "RestoreResult",
+    "ShipRecord",
+    "ShipReply",
+    "ShipRequest",
+    "SiteWal",
+    "WalConfig",
+    "WalStats",
+]

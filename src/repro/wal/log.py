@@ -1,0 +1,201 @@
+"""The append-only redo log, group-committed through stable storage.
+
+Layout in the site's :class:`~repro.storage.stable.StableStorage`:
+
+* ``wal.meta`` — log metadata: next LSN, durable LSN, the segment
+  directory, truncation watermarks, and the highest commit sequence
+  number among durable write records;
+* ``wal.seg.<n>`` — one *segment* per group commit: the tuple of
+  records flushed together (every :meth:`flush` is exactly one stable
+  segment write plus the metadata write — the group-commit cost model);
+* ``wal.ckpt`` — the last fuzzy checkpoint (written by
+  :class:`~repro.wal.wal.SiteWal`, not here).
+
+Invariants:
+
+* LSNs are strictly increasing; a record is *durable* iff
+  ``lsn <= durable_lsn`` (everything above sits in the volatile append
+  buffer and is lost by a crash — the owner counts those losses);
+* segments partition the durable LSN range ``(truncated_through,
+  durable_lsn]`` in order;
+* ``truncated_max_commit`` is the highest commit sequence number among
+  ever-truncated write records: a catch-up request anchored at or below
+  it cannot be served completely from the log and must fall back to
+  per-item copy.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.storage.stable import StableStorage
+from repro.wal.records import LogRecord
+
+META_KEY = "wal.meta"
+SEGMENT_PREFIX = "wal.seg."
+CHECKPOINT_KEY = "wal.ckpt"
+
+
+class RedoLog:
+    """Per-site append-only redo log over a :class:`StableStorage`."""
+
+    def __init__(self, stable: StableStorage) -> None:
+        self.stable = stable
+        self._buffer: list[LogRecord] = []
+        self.next_lsn = 1
+        self.durable_lsn = 0
+        #: Segment directory: ``(segment_id, first_lsn, last_lsn)``.
+        self.segments: list[tuple[int, int, int]] = []
+        self._next_segment = 1
+        self.truncated_through_lsn = 0
+        self.truncated_max_commit = 0
+        self.truncated_records = 0
+        #: Per-item highest commit sequence ever truncated (write records
+        #: only). Lets a catch-up server gate precisely: only truncated
+        #: commits of items the *requester* hosts can invalidate a stream.
+        self.truncated_commit_by_item: dict[str, int] = {}
+        self.high_commit = 0  # max Version.commit among durable+buffered writes
+        self.load_meta()
+
+    # -- metadata persistence -------------------------------------------------
+
+    def load_meta(self) -> None:
+        """Re-sync in-memory metadata from stable storage (restart path)."""
+        meta = self.stable.get(META_KEY)
+        if meta is None:
+            return
+        meta = typing.cast(dict, meta)
+        self.next_lsn = meta["next_lsn"]
+        self.durable_lsn = meta["durable_lsn"]
+        self.segments = [tuple(entry) for entry in meta["segments"]]
+        self._next_segment = meta["next_segment"]
+        self.truncated_through_lsn = meta["truncated_through_lsn"]
+        self.truncated_max_commit = meta["truncated_max_commit"]
+        self.truncated_records = meta["truncated_records"]
+        self.truncated_commit_by_item = dict(meta["truncated_commit_by_item"])
+        self.high_commit = meta["high_commit"]
+
+    def _store_meta(self) -> int:
+        return self.stable.put(
+            META_KEY,
+            {
+                "next_lsn": self.next_lsn,
+                "durable_lsn": self.durable_lsn,
+                "segments": [list(entry) for entry in self.segments],
+                "next_segment": self._next_segment,
+                "truncated_through_lsn": self.truncated_through_lsn,
+                "truncated_max_commit": self.truncated_max_commit,
+                "truncated_records": self.truncated_records,
+                "truncated_commit_by_item": dict(self.truncated_commit_by_item),
+                "high_commit": self.high_commit,
+            },
+        )
+
+    # -- appending ------------------------------------------------------------
+
+    def append(
+        self,
+        kind: str,
+        item: str | None = None,
+        value: object = None,
+        version=None,
+        session: int | None = None,
+        session_started_at: float | None = None,
+    ) -> LogRecord:
+        """Append one record to the volatile tail; durable at next flush."""
+        record = LogRecord(
+            lsn=self.next_lsn,
+            kind=kind,
+            item=item,
+            value=value,
+            version=version,
+            session=session,
+            session_started_at=session_started_at,
+        )
+        self.next_lsn += 1
+        if kind == "write" and version is not None:
+            self.high_commit = max(self.high_commit, version.commit)
+        self._buffer.append(record)
+        return record
+
+    def flush(self) -> int:
+        """Group-commit the buffered tail as one segment; returns count."""
+        if not self._buffer:
+            return 0
+        segment_id = self._next_segment
+        self._next_segment += 1
+        records = tuple(self._buffer)
+        self.stable.put(f"{SEGMENT_PREFIX}{segment_id}", records)
+        self.segments.append((segment_id, records[0].lsn, records[-1].lsn))
+        self.durable_lsn = records[-1].lsn
+        self._buffer.clear()
+        self._store_meta()
+        return len(records)
+
+    def discard_unflushed(self) -> int:
+        """Crash path: drop the volatile tail; returns records lost."""
+        lost = len(self._buffer)
+        self._buffer.clear()
+        # Re-issue the lost LSNs: nothing durable ever carried them.
+        self.next_lsn = self.durable_lsn + 1
+        if lost:
+            self._store_meta()
+        return lost
+
+    # -- reading --------------------------------------------------------------
+
+    def records_after(self, lsn: int) -> typing.Iterator[LogRecord]:
+        """Durable records with ``record.lsn > lsn``, in LSN order."""
+        for segment_id, _first, last in self.segments:
+            if last <= lsn:
+                continue
+            records = typing.cast(
+                tuple, self.stable.get(f"{SEGMENT_PREFIX}{segment_id}", ())
+            )
+            for record in records:
+                if record.lsn > lsn:
+                    yield record
+
+    # -- truncation -----------------------------------------------------------
+
+    def truncate(self, through_lsn: int) -> int:
+        """Drop whole segments whose records all have ``lsn <= through_lsn``.
+
+        Returns the number of records dropped. Tracks the highest commit
+        sequence number ever truncated so catch-up requests anchored
+        behind it can be refused (they would silently miss updates).
+        """
+        if through_lsn <= self.truncated_through_lsn:
+            return 0
+        dropped = 0
+        keep: list[tuple[int, int, int]] = []
+        for segment_id, first, last in self.segments:
+            if last > through_lsn:
+                keep.append((segment_id, first, last))
+                continue
+            records = typing.cast(
+                tuple, self.stable.get(f"{SEGMENT_PREFIX}{segment_id}", ())
+            )
+            for record in records:
+                if record.kind == "write" and record.version is not None:
+                    self.truncated_max_commit = max(
+                        self.truncated_max_commit, record.version.commit
+                    )
+                    if record.item is not None:
+                        self.truncated_commit_by_item[record.item] = max(
+                            self.truncated_commit_by_item.get(record.item, 0),
+                            record.version.commit,
+                        )
+            dropped += len(records)
+            self.stable.delete(f"{SEGMENT_PREFIX}{segment_id}")
+            self.truncated_through_lsn = max(self.truncated_through_lsn, last)
+        if dropped:
+            self.segments = keep
+            self.truncated_records += dropped
+            self._store_meta()
+        return dropped
+
+    @property
+    def buffered(self) -> int:
+        """Records appended but not yet durable."""
+        return len(self._buffer)

@@ -1,0 +1,54 @@
+"""Redo-log record types.
+
+One :class:`LogRecord` is appended for every committed mutation of a
+site's copy store:
+
+* ``"write"`` — a committed physical write (value + version), including
+  copier renovations and NS/control updates;
+* ``"mark"`` / ``"clear"`` — unreadable-mark transitions outside a
+  value write (recovery step 2 marking, equal-version validations under
+  timestamp ordering), so a restart preserves §3.4's readability state;
+* ``"session"`` — a session-number event (reservation or activation),
+  making session state recoverable from the log alone.
+
+Records are redo-only (no undo: only committed state is ever journaled,
+matching the repository's no-undo copy store) and totally ordered per
+site by ``lsn``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.storage.copies import Version
+
+#: Fixed cost of lsn + kind tag + flags in the wire/stable size model
+#: (same style as repro.txn.payloads).
+_RECORD_HEADER_BYTES = 16
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class LogRecord:
+    """One redo record. ``lsn`` is site-local and strictly increasing."""
+
+    lsn: int
+    kind: str  # "write" | "mark" | "clear" | "session"
+    item: str | None = None
+    value: object = None
+    version: Version | None = None
+    session: int | None = None
+    session_started_at: float | None = None
+
+    @property
+    def wire_size(self) -> int:
+        """Nominal serialized size (one word per number, 1 B/char names)."""
+        size = _RECORD_HEADER_BYTES + len(self.item or "")
+        if self.kind == "write":
+            size += 8  # the value, modeled as one word
+        if self.version is not None:
+            size += 16
+        if self.session is not None:
+            size += 8
+        if self.session_started_at is not None:
+            size += 8
+        return size

@@ -1,0 +1,235 @@
+"""Per-site durability facade: journaling, group commit, checkpoints, restart.
+
+:class:`SiteWal` sits between a site's :class:`~repro.storage.copies.CopyStore`
+and its :class:`~repro.storage.stable.StableStorage`:
+
+* every committed copy mutation (write / mark / clear) is journaled as a
+  redo record through the copy store's ``journal`` hook;
+* the DM calls :meth:`on_commit` once per applied commit — the whole
+  transaction's records become durable in **one** stable segment write
+  (group commit);
+* after ``checkpoint_every`` durable records a *fuzzy checkpoint* is
+  taken: the full ``{item → (value, version, unreadable)}`` image plus
+  the stable session state, after which the log is truncated down to
+  the configured retention tail;
+* on power-on, :meth:`restore` rebuilds copies, versions, unreadable
+  marks and session state **purely** from checkpoint + log replay
+  (the in-memory copy store is explicitly reset first — nothing that
+  "magically survived" the crash is consulted).
+
+A site whose stable storage holds no checkpoint (never initialised by a
+:class:`~repro.system.DatabaseSystem`, e.g. a bare ``Site`` in a unit
+test) keeps the legacy crash semantics: restore is a no-op.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.wal.config import WalConfig
+from repro.wal.log import CHECKPOINT_KEY, RedoLog
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.site.site import Site
+
+# Stable keys owned by repro.core.session; the WAL rewrites them at
+# restore so session state is reproducible from checkpoint + log alone.
+_SESSION_KEY = "session.last"
+_SESSION_STARTED = "session.started_at"
+
+
+@dataclasses.dataclass
+class WalStats:
+    """Durability work accounting (surfaced by repro metrics / E9)."""
+
+    records_appended: int = 0
+    flushes: int = 0  # group commits (stable segment writes)
+    records_flushed: int = 0
+    bytes_flushed: int = 0  # serialized bytes of segments + metadata
+    checkpoints: int = 0
+    replays: int = 0  # restarts that went through checkpoint + replay
+    records_replayed: int = 0
+    records_lost_unflushed: int = 0  # volatile tail dropped by crashes
+
+
+@dataclasses.dataclass
+class RestoreResult:
+    """What one power-on reconstruction did."""
+
+    checkpoint_lsn: int
+    durable_lsn: int
+    records_replayed: int
+    high_commit: int  # max commit seq durably known at this site
+    session_last: int
+    session_started_at: float | None
+
+
+class SiteWal:
+    """The write-ahead redo log of one site."""
+
+    def __init__(self, site: "Site", config: WalConfig | None = None) -> None:
+        self.site = site
+        self.config = config if config is not None else WalConfig()
+        self.log = RedoLog(site.stable)
+        self.stats = WalStats()
+        self._records_since_checkpoint = 0
+        self._restoring = False
+        self.last_checkpoint_lsn = 0
+        #: Durable knowledge at the last restore: the highest commit
+        #: sequence number reconstructible from checkpoint + log. This —
+        #: not the current high commit, which post-recovery writes keep
+        #: advancing — anchors log-shipping catch-up requests.
+        self.restore_high_commit = 0
+        site.copies.journal = self._journal
+        site.crash_hooks.append(self._on_crash)
+
+    # -- journaling (CopyStore hook) -------------------------------------------
+
+    def _journal(self, op: str, item: str, value: object = None, version=None) -> None:
+        if self._restoring:
+            return  # replay must not re-journal what it applies
+        self.log.append(op, item=item, value=value, version=version)
+        self.stats.records_appended += 1
+
+    def log_session(self, session: int, started_at: float | None = None) -> None:
+        """Journal a session reservation/activation and make it durable."""
+        self.log.append("session", session=session, session_started_at=started_at)
+        self.stats.records_appended += 1
+        self.flush()
+
+    # -- group commit ----------------------------------------------------------
+
+    def on_commit(self) -> None:
+        """DM hook: one applied commit — group-commit its records."""
+        self.flush()
+
+    def flush(self) -> int:
+        """Make all buffered records durable; maybe checkpoint after."""
+        if not self.log.buffered:
+            return 0
+        before = self.site.stable.bytes_written
+        flushed = self.log.flush()
+        self.stats.flushes += 1
+        self.stats.records_flushed += flushed
+        self.stats.bytes_flushed += self.site.stable.bytes_written - before
+        self._records_since_checkpoint += flushed
+        if self._records_since_checkpoint >= self.config.checkpoint_every:
+            self.checkpoint()
+        return flushed
+
+    # -- checkpoints -----------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Write a fuzzy checkpoint and truncate the log behind it.
+
+        Returns the checkpoint LSN. The image covers every copy (value,
+        version, unreadable mark) plus the stable session state; replay
+        therefore only needs records *after* this LSN. The log keeps a
+        ``retain_records`` tail behind the checkpoint for log-shipping.
+        """
+        self.log.flush()  # the image must not predate buffered records
+        stable = self.site.stable
+        span = None
+        obs = self.site.obs
+        if obs.spans_on:
+            span = obs.spans.start("wal.checkpoint", "wal", self.site.site_id)
+        items = {
+            name: (copy.value, copy.version, copy.unreadable)
+            for name, copy in (
+                (name, self.site.copies.get(name)) for name in self.site.copies.items()
+            )
+        }
+        checkpoint_lsn = self.log.durable_lsn
+        stable.put(
+            CHECKPOINT_KEY,
+            {
+                "lsn": checkpoint_lsn,
+                "high_commit": self.log.high_commit,
+                "items": items,
+                "session_last": stable.get(_SESSION_KEY, 0),
+                "session_started_at": stable.get(_SESSION_STARTED),
+            },
+        )
+        self.last_checkpoint_lsn = checkpoint_lsn
+        self.log.truncate(checkpoint_lsn - self.config.retain_records)
+        self.stats.checkpoints += 1
+        self._records_since_checkpoint = 0
+        if span is not None:
+            obs.spans.finish(span)
+        return checkpoint_lsn
+
+    @property
+    def checkpoint_lag(self) -> int:
+        """Durable records not yet covered by a checkpoint."""
+        return self.log.durable_lsn - self.last_checkpoint_lsn
+
+    # -- restart ---------------------------------------------------------------
+
+    def restore(self) -> RestoreResult | None:
+        """Rebuild copies/versions/marks/session from checkpoint + replay.
+
+        Returns None (and touches nothing) when stable storage holds no
+        checkpoint — the site was never initialised through a
+        DatabaseSystem and keeps legacy crash semantics.
+        """
+        stable = self.site.stable
+        checkpoint = typing.cast("dict | None", stable.get(CHECKPOINT_KEY))
+        if checkpoint is None:
+            return None
+        obs = self.site.obs
+        span = None
+        if obs.spans_on:
+            span = obs.spans.start("wal.restore", "wal", self.site.site_id)
+        self.log.load_meta()  # stable metadata is the authority after a crash
+        self._restoring = True
+        try:
+            copies = self.site.copies
+            copies.reset()
+            for name, (value, version, unreadable) in checkpoint["items"].items():
+                copies.install(name, value, version, unreadable)
+            session_last = checkpoint["session_last"]
+            session_started = checkpoint["session_started_at"]
+            high_commit = checkpoint["high_commit"]
+            replayed = 0
+            for record in self.log.records_after(checkpoint["lsn"]):
+                replayed += 1
+                if record.kind == "write":
+                    copies.install(record.item, record.value, record.version, False)
+                    if record.version is not None:
+                        high_commit = max(high_commit, record.version.commit)
+                elif record.kind == "mark":
+                    if copies.has(record.item):
+                        copies.mark_unreadable(record.item)
+                elif record.kind == "clear":
+                    if copies.has(record.item):
+                        copies.clear_unreadable(record.item)
+                elif record.kind == "session":
+                    session_last = record.session
+                    if record.session_started_at is not None:
+                        session_started = record.session_started_at
+            stable.put(_SESSION_KEY, session_last)
+            stable.put(_SESSION_STARTED, session_started)
+        finally:
+            self._restoring = False
+            if span is not None:
+                obs.spans.finish(span)
+        self.last_checkpoint_lsn = checkpoint["lsn"]
+        self._records_since_checkpoint = self.checkpoint_lag
+        self.restore_high_commit = high_commit
+        self.stats.replays += 1
+        self.stats.records_replayed += replayed
+        return RestoreResult(
+            checkpoint_lsn=checkpoint["lsn"],
+            durable_lsn=self.log.durable_lsn,
+            records_replayed=replayed,
+            high_commit=high_commit,
+            session_last=session_last,
+            session_started_at=session_started,
+        )
+
+    # -- crash -----------------------------------------------------------------
+
+    def _on_crash(self) -> None:
+        lost = self.log.discard_unflushed()
+        self.stats.records_lost_unflushed += lost

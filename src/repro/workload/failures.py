@@ -7,6 +7,7 @@ import random
 import typing
 
 from repro.sim.process import Process
+from repro.sim.rng import RngRegistry
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.system import DatabaseSystem
@@ -67,11 +68,15 @@ class FailureSchedule:
             time += period
         return cls(events)
 
+    #: RngRegistry stream name for schedule construction (see
+    #: ``harness.placement`` for the precedent).
+    RNG_STREAM = "workload.failures"
+
     @classmethod
     def random_failures(
         cls,
         site_ids: typing.Sequence[int],
-        rng: random.Random,
+        rng: random.Random | int,
         horizon: float,
         mtbf: float,
         mttr: float,
@@ -79,11 +84,20 @@ class FailureSchedule:
     ) -> "FailureSchedule":
         """Exponential times-to-failure and times-to-repair per site.
 
+        ``rng`` may be a seed, which draws from the registry stream
+        ``"workload.failures"`` — the same seed then yields the same
+        schedule regardless of what else an experiment draws, instead of
+        entangling the crash times with every other ``random.Random``
+        consumer sharing the object. Passing a ``random.Random`` is
+        still supported for callers managing their own streams.
+
         Guarantees (by construction, tracking scheduled state) that at
         least ``min_up_sites`` sites are up at any instant — the paper's
         algorithm requires one operational site for recovery, and total
         failure needs the out-of-band cold start.
         """
+        if isinstance(rng, int):
+            rng = RngRegistry(rng).stream(cls.RNG_STREAM)
         events: list[FailureEvent] = []
         next_action: list[tuple[float, str, int]] = [
             (rng.expovariate(1.0 / mtbf), "crash", site_id) for site_id in site_ids

@@ -13,6 +13,7 @@ from repro.harness.experiments import (
     e6_multifailure,
     e7_control_cost,
     e8_serializability,
+    e9_catchup,
 )
 
 
@@ -79,3 +80,18 @@ def test_e8_smoke():
     )
     (row,) = table.rows
     assert row["theorem3_ok"] == 1
+
+
+def test_e9_smoke():
+    table = e9_catchup.run(seed=1, n_items=8, missed_updates=(4,))
+    (ship,) = table.where(mode="log_ship", truncated=False)
+    (copy,) = table.where(mode="item_copy", truncated=False)
+    # Log shipping moves strictly fewer bytes for a short outage...
+    assert ship["net_bytes"] < copy["net_bytes"]
+    assert ship["fell_back"] == 0 and ship["shipped"] >= 4
+    # ...and both transports end on the identical final state.
+    assert ship["state"] == copy["state"]
+    assert ship["t_fully_current"] is not None
+    (trunc,) = table.where(mode="log_ship", truncated=True)
+    assert trunc["fell_back"] == 1
+    assert trunc["state"] == table.where(mode="item_copy", truncated=True)[0]["state"]

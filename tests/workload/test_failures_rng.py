@@ -1,0 +1,49 @@
+"""FailureSchedule randomness routed through the RngRegistry."""
+
+import random
+
+from repro.sim.rng import RngRegistry
+from repro.workload import FailureSchedule
+
+
+def events_of(schedule):
+    return [(e.time, e.action, e.site_id) for e in schedule]
+
+
+class TestSeededSchedules:
+    def test_seed_draws_from_dedicated_registry_stream(self):
+        by_seed = FailureSchedule.random_failures(
+            [1, 2, 3], 7, horizon=500.0, mtbf=100.0, mttr=30.0
+        )
+        by_stream = FailureSchedule.random_failures(
+            [1, 2, 3],
+            RngRegistry(7).stream(FailureSchedule.RNG_STREAM),
+            horizon=500.0, mtbf=100.0, mttr=30.0,
+        )
+        assert events_of(by_seed) == events_of(by_stream)
+
+    def test_schedule_independent_of_other_consumers(self):
+        """Drawing from another stream first must not perturb the
+        schedule — the reason for per-name streams over one shared
+        ``random.Random``."""
+        registry = RngRegistry(7)
+        registry.stream("workload.generator").random()  # unrelated draw
+        perturbed = FailureSchedule.random_failures(
+            [1, 2, 3], registry.stream(FailureSchedule.RNG_STREAM),
+            horizon=500.0, mtbf=100.0, mttr=30.0,
+        )
+        fresh = FailureSchedule.random_failures(
+            [1, 2, 3], 7, horizon=500.0, mtbf=100.0, mttr=30.0
+        )
+        assert events_of(perturbed) == events_of(fresh)
+
+    def test_explicit_rng_still_supported(self):
+        rng = random.Random(5)
+        schedule = FailureSchedule.random_failures(
+            [1, 2], rng, horizon=400.0, mtbf=100.0, mttr=30.0
+        )
+        again = FailureSchedule.random_failures(
+            [1, 2], random.Random(5), horizon=400.0, mtbf=100.0, mttr=30.0
+        )
+        assert events_of(schedule) == events_of(again)
+        assert len(schedule) > 0
