@@ -1,0 +1,578 @@
+"""The online protocol auditor.
+
+:class:`ProtocolAuditor` subscribes to the existing observability
+streams (spans, metrics collectors) plus the narrow read-only taps the
+TM/DM/WAL expose (``finish_hooks``, ``access_audit_hooks``,
+``read_audit_hooks``, ``commit_apply_hooks``, ``flush_hooks``,
+``checkpoint_hooks``, site crash/power-on hooks and the cluster's
+recovered hook) and continuously evaluates the paper's invariants while
+a simulation runs:
+
+1. **online 1SR** — an incremental serialization-graph (candidate
+   1-STG over DB items, §4) grown per committed transaction; the first
+   cycle is a critical ``onesr.cycle`` alert;
+2. **session coherence** (§3.1/§3.3) — a served physical operation
+   whose ``expected`` tag differs from ``as[k]`` fires
+   ``session.check``; a committed original control write installing a
+   non-fresh ``NS[k]`` value fires ``session.ns_monotonic`` (skipped
+   when session numbers are deliberately recycled via
+   ``session_modulus``);
+3. **missing-list conservatism** (§5) — the auditor maintains an
+   omniscient oracle of the latest committed version per logical item
+   (fed by commit applications); an *unmarked* stale copy at a site
+   that just became operational fires ``missinglist.conservatism``, and
+   a database read actually served from a stale unmarked copy fires
+   ``oracle.stale_read``;
+4. **ROWAA write coverage** (§2/§3.2) — a committed user transaction
+   whose logical write did not fan out to every copy nominally up in
+   its NS-view fires ``rowaa.write_coverage``;
+5. **WAL/durable coherence** — per-site durable-LSN monotonicity
+   (``wal.durable_monotonic``), checkpoint ≤ durable LSN
+   (``wal.checkpoint_bound``), and replay fidelity: at crash time the
+   auditor fingerprints the state reconstructible from checkpoint + log
+   (its own ~30-line mirror of ``SiteWal.restore``), and at power-on
+   the restored copies/session must hash identically
+   (``wal.replay_fingerprint``).
+
+Liveness watchdogs run as a periodic kernel process (warning severity,
+so they never trip the critical-only CI gate): a nominally-up site
+whose non-NS unreadable count stops draining
+(``liveness.drain_stall``), a copier service with pending work but
+frozen counters (``liveness.copier_starved``), and a 2PC span open past
+a configurable sim-time budget (``liveness.twopc_overrun``).
+
+All hooks are read-only: the auditor never mutates protocol state, and
+every hook list it populates is empty (one falsy test) when no auditor
+is attached.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import typing
+
+from repro.audit.alerts import Alert, AlertLog
+from repro.audit.onestg import OnlineOneStg
+from repro.core.nominal import db_item_filter, is_ns_item, ns_site
+from repro.txn.transaction import Transaction, TxnKind, TxnStatus
+from repro.wal.log import CHECKPOINT_KEY
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.site.site import Site
+    from repro.storage.copies import Version
+    from repro.system import DatabaseSystem
+
+
+@dataclasses.dataclass
+class AuditConfig:
+    """Watchdog cadence and sim-time budgets."""
+
+    watchdog_interval: float = 25.0
+    #: An operational site's non-NS unreadable count must change within
+    #: this budget while nonzero.
+    drain_stall_budget: float = 400.0
+    #: A copier service with pending items must advance some counter
+    #: within this budget.
+    copier_stall_budget: float = 400.0
+    #: A 2PC span may stay open at most this long (needs spans enabled).
+    twopc_budget: float = 200.0
+
+
+def _vkey(version: "Version") -> tuple[float, int]:
+    """Version order: the (ts, commit) pair (see ``logical_write_order``)."""
+    return (version.ts, version.commit)
+
+
+class ProtocolAuditor:
+    """Live invariant monitoring over one :class:`DatabaseSystem`."""
+
+    def __init__(
+        self, system: "DatabaseSystem", config: AuditConfig | None = None
+    ) -> None:
+        self.system = system
+        self.config = config if config is not None else AuditConfig()
+        self.kernel = system.kernel
+        self.obs = system.obs
+        self.recorder = system.recorder
+        self.alerts = AlertLog()
+        self.checks = 0  # invariant evaluations performed
+        self.stg = OnlineOneStg(
+            self.recorder, item_filter=db_item_filter, on_cycle=self._on_cycle
+        )
+        #: Omniscient oracle: latest committed version per logical item.
+        self._oracle: dict[str, "Version"] = {}
+        #: NS freshness: site -> (last nonzero announcement, announcing txn).
+        self._ns_announced: dict[int, tuple[int, str]] = {}
+        rowaa_config = getattr(system, "rowaa_config", None)
+        self._session_modulus = getattr(rowaa_config, "session_modulus", None)
+        self._check_coverage = rowaa_config is not None
+        # WAL coherence state.
+        self._durable_lsn_seen: dict[int, int] = {}
+        self._pre_crash_fp: dict[int, str] = {}
+        # Watchdog episodes: site -> (observation, since, already alerted).
+        self._drain_state: dict[int, tuple[int, float, bool]] = {}
+        self._copier_state: dict[int, tuple[tuple, float, bool]] = {}
+        self._open_2pc: dict[int, typing.Any] = {}
+        self._span_cursor = 0
+        self._stopped = False
+        self._wire()
+
+    # -- wiring ---------------------------------------------------------------
+
+    def _wire(self) -> None:
+        system = self.system
+        self.obs.audit = self
+        for tm in system.tms.values():
+            tm.finish_hooks.append(self._on_txn_finish)
+        for site_id, dm in system.dms.items():
+            dm.access_audit_hooks.append(self._access_hook(site_id))
+            dm.read_audit_hooks.append(self._read_hook(site_id))
+            dm.commit_apply_hooks.append(self._apply_hook(site_id))
+        for site in system.cluster.sites.values():
+            site.crash_hooks.append(self._crash_hook(site))
+            site.power_on_hooks.append(self._power_on_hook(site))
+            if site.wal is not None:
+                site.wal.flush_hooks.append(self._wal_hook(site))
+                site.wal.checkpoint_hooks.append(self._wal_hook(site))
+        system.cluster.recovered_hooks.append(self._on_recovered)
+        self.obs.registry.add_collector(self._collect)
+        self._watchdog_proc = self.kernel.process(
+            self._watchdog(), name="protocol-auditor"
+        )
+
+    def stop(self) -> None:
+        """Stop the watchdog process (hook-driven checks stay live)."""
+        self._stopped = True
+
+    # -- alert plumbing -------------------------------------------------------
+
+    def _alert(self, rule: str, severity: str, message: str, **kwargs) -> Alert | None:
+        return self.alerts.record(
+            rule, severity, self.kernel.now, message, **kwargs
+        )
+
+    # -- (1) online 1SR -------------------------------------------------------
+
+    def _pump(self) -> None:
+        self.stg.pump()
+
+    def _on_cycle(self, txn_id: str, cycle: list) -> None:
+        nodes = sorted({node for edge in cycle for node in edge[:2]})
+        self._alert(
+            "onesr.cycle",
+            "critical",
+            "serialization graph cycle: the committed history is not "
+            "certifiably one-serializable (§4)",
+            txn_ids=tuple(nodes),
+            details={"closing_txn": txn_id, "cycle": [list(e) for e in cycle]},
+        )
+
+    # -- (2) session coherence ------------------------------------------------
+
+    def _access_hook(self, site_id: int):
+        def hook(expected: int | None, privileged: bool, actual: int) -> None:
+            self.checks += 1
+            if not privileged and expected is not None and expected != actual:
+                self._alert(
+                    "session.check",
+                    "critical",
+                    "physical operation served with a stale session tag: "
+                    f"expected={expected} but as[{site_id}]={actual} (§3.1)",
+                    site=site_id,
+                    details={"expected": expected, "actual": actual},
+                    dedupe_key=(site_id, expected, actual),
+                )
+
+        return hook
+
+    def _ns_check(
+        self, site_id: int, txn_id: str, item: str, value: object
+    ) -> None:
+        if not isinstance(value, int) or value == 0:
+            return  # type-2 exclusion writes (0) carry no freshness claim
+        if self._session_modulus is not None:
+            return  # deliberately recycled session numbers
+        k = ns_site(item)
+        last = self._ns_announced.get(k)
+        if last is not None:
+            last_value, last_txn = last
+            if value < last_value or (value == last_value and txn_id != last_txn):
+                self._alert(
+                    "session.ns_monotonic",
+                    "critical",
+                    f"control transaction installed NS[{k}]={value}, not "
+                    f"fresher than {last_value} announced by {last_txn} (§3.3)",
+                    site=site_id,
+                    txn_ids=(txn_id,),
+                    details={"ns_site": k, "value": value, "previous": last_value},
+                    dedupe_key=(k, value, txn_id),
+                )
+                return
+        self._ns_announced[k] = (value, txn_id)
+
+    # -- (3) oracle / missing-list conservatism -------------------------------
+
+    def _read_hook(self, site_id: int):
+        def hook(item: str, version: "Version") -> None:
+            self.checks += 1
+            latest = self._oracle.get(item)
+            if latest is not None and _vkey(version) < _vkey(latest):
+                self._alert(
+                    "oracle.stale_read",
+                    "critical",
+                    f"read of {item} served a stale unmarked copy "
+                    f"(version commit {version.commit} < oracle "
+                    f"{latest.commit}): unreadable marks do not cover the "
+                    "truly-stale copies (§5)",
+                    site=site_id,
+                    details={
+                        "item": item,
+                        "served_commit": version.commit,
+                        "latest_commit": latest.commit,
+                    },
+                    dedupe_key=(site_id, item, version.commit),
+                )
+
+        return hook
+
+    def _apply_hook(self, site_id: int):
+        def hook(
+            txn_id: str,
+            kind: str,
+            txn_seq: int,
+            item: str,
+            value: object,
+            version: "Version",
+            overridden: bool,
+        ) -> None:
+            self.checks += 1
+            latest = self._oracle.get(item)
+            if latest is None or _vkey(version) > _vkey(latest):
+                self._oracle[item] = version
+            if kind == "control" and not overridden and is_ns_item(item):
+                self._ns_check(site_id, txn_id, item, value)
+            self._pump()
+
+        return hook
+
+    def _on_recovered(self, site_id: int) -> None:
+        """Operational instant: unreadable marks must cover stale copies."""
+        site = self.system.cluster.sites[site_id]
+        for item in site.copies.items():
+            if is_ns_item(item):
+                continue
+            self.checks += 1
+            copy = site.copies.get(item)
+            latest = self._oracle.get(item)
+            if latest is None or copy.unreadable:
+                continue
+            if _vkey(copy.version) < _vkey(latest):
+                self._alert(
+                    "missinglist.conservatism",
+                    "critical",
+                    f"site became operational with an unmarked stale copy of "
+                    f"{item} (commit {copy.version.commit} < oracle "
+                    f"{latest.commit}): identification under-populated the "
+                    "missing set (§5)",
+                    site=site_id,
+                    details={
+                        "item": item,
+                        "copy_commit": copy.version.commit,
+                        "latest_commit": latest.commit,
+                    },
+                    dedupe_key=(site_id, item, copy.version.commit),
+                )
+
+    # -- (4) ROWAA write coverage ---------------------------------------------
+
+    def _on_txn_finish(self, txn: Transaction) -> None:
+        if (
+            self._check_coverage
+            and txn.kind is TxnKind.USER
+            and txn.status is TxnStatus.COMMITTED
+            and txn.logical_writes
+        ):
+            catalog = self.system.catalog
+            for item, targets in txn.logical_writes:
+                self.checks += 1
+                required = {
+                    s
+                    for s in catalog.sites_of(item)
+                    if txn.view.get(s, 0) != 0
+                }
+                missing = required.difference(targets)
+                if missing:
+                    self._alert(
+                        "rowaa.write_coverage",
+                        "critical",
+                        f"committed write of {item} skipped nominally-up "
+                        f"copies at sites {sorted(missing)} (§2 "
+                        "write-all-available)",
+                        site=txn.home_site,
+                        txn_ids=(txn.txn_id,),
+                        details={
+                            "item": item,
+                            "missing": sorted(missing),
+                            "targets": sorted(targets),
+                        },
+                    )
+        self._pump()
+
+    # -- (5) WAL / durable coherence ------------------------------------------
+
+    def _wal_hook(self, site: "Site"):
+        def hook() -> None:
+            self.checks += 1
+            wal = site.wal
+            lsn = wal.log.durable_lsn
+            seen = self._durable_lsn_seen.get(site.site_id, 0)
+            if lsn < seen:
+                self._alert(
+                    "wal.durable_monotonic",
+                    "critical",
+                    f"durable LSN regressed from {seen} to {lsn}",
+                    site=site.site_id,
+                    details={"seen": seen, "lsn": lsn},
+                    dedupe_key=(site.site_id, lsn),
+                )
+            else:
+                self._durable_lsn_seen[site.site_id] = lsn
+            if wal.last_checkpoint_lsn > lsn:
+                self._alert(
+                    "wal.checkpoint_bound",
+                    "critical",
+                    f"checkpoint LSN {wal.last_checkpoint_lsn} exceeds "
+                    f"durable LSN {lsn}",
+                    site=site.site_id,
+                    details={
+                        "checkpoint_lsn": wal.last_checkpoint_lsn,
+                        "durable_lsn": lsn,
+                    },
+                    dedupe_key=(site.site_id, wal.last_checkpoint_lsn),
+                )
+
+        return hook
+
+    def _crash_hook(self, site: "Site"):
+        def hook() -> None:
+            # Registered after the WAL's own crash hook, so the volatile
+            # tail is already discarded: this hashes exactly the durable
+            # image restore must rebuild.
+            fingerprint = self._durable_fingerprint(site)
+            if fingerprint is not None:
+                self._pre_crash_fp[site.site_id] = fingerprint
+
+        return hook
+
+    def _power_on_hook(self, site: "Site"):
+        def hook() -> None:
+            # Site.power_on runs wal.restore() before these hooks fire.
+            expected = self._pre_crash_fp.pop(site.site_id, None)
+            if expected is None:
+                return
+            self.checks += 1
+            actual = self._state_fingerprint(site)
+            if actual != expected:
+                self._alert(
+                    "wal.replay_fingerprint",
+                    "critical",
+                    "restored state diverges from the pre-crash durable "
+                    "image (checkpoint + log replay is not faithful)",
+                    site=site.site_id,
+                    details={"expected": expected, "actual": actual},
+                )
+
+        return hook
+
+    def _durable_fingerprint(self, site: "Site") -> str | None:
+        """Hash of the state reconstructible from checkpoint + log.
+
+        An independent mirror of :meth:`SiteWal.restore` (same record
+        semantics, no shared code) so replay bugs can't hide in a shared
+        implementation.
+        """
+        checkpoint = typing.cast("dict | None", site.stable.get(CHECKPOINT_KEY))
+        if checkpoint is None or site.wal is None:
+            return None
+        items = {
+            name: (value, version, unreadable)
+            for name, (value, version, unreadable) in checkpoint["items"].items()
+        }
+        session_last = checkpoint["session_last"]
+        session_started = checkpoint["session_started_at"]
+        for record in site.wal.log.records_after(checkpoint["lsn"]):
+            if record.kind == "write":
+                items[record.item] = (record.value, record.version, False)
+            elif record.kind == "mark":
+                if record.item in items:
+                    value, version, _ = items[record.item]
+                    items[record.item] = (value, version, True)
+            elif record.kind == "clear":
+                if record.item in items:
+                    value, version, _ = items[record.item]
+                    items[record.item] = (value, version, False)
+            elif record.kind == "session":
+                session_last = record.session
+                if record.session_started_at is not None:
+                    session_started = record.session_started_at
+        return self._fingerprint(items, session_last, session_started)
+
+    def _state_fingerprint(self, site: "Site") -> str:
+        """Hash of the live copies + stable session state (post-restore)."""
+        items = {}
+        for name in site.copies.items():
+            copy = site.copies.get(name)
+            items[name] = (copy.value, copy.version, copy.unreadable)
+        return self._fingerprint(
+            items,
+            site.stable.get("session.last", 0),
+            site.stable.get("session.started_at"),
+        )
+
+    @staticmethod
+    def _fingerprint(
+        items: dict, session_last: object, session_started: object
+    ) -> str:
+        digest = hashlib.sha256()
+        for name in sorted(items):
+            value, version, unreadable = items[name]
+            normalized = tuple(version) if version is not None else None
+            digest.update(
+                repr((name, value, normalized, bool(unreadable))).encode()
+            )
+        digest.update(repr(("session", session_last, session_started)).encode())
+        return digest.hexdigest()
+
+    # -- liveness watchdogs ---------------------------------------------------
+
+    def _watchdog(self) -> typing.Generator:
+        while not self._stopped:
+            yield self.kernel.timeout(self.config.watchdog_interval)
+            if self._stopped:
+                return
+            now = self.kernel.now
+            self._watch_drain(now)
+            self._watch_copiers(now)
+            self._watch_2pc(now)
+
+    def _unreadable_count(self, site: "Site") -> int:
+        return sum(
+            1 for item in site.copies.unreadable_items() if not is_ns_item(item)
+        )
+
+    def _watch_drain(self, now: float) -> None:
+        for site_id, site in self.system.cluster.sites.items():
+            count = self._unreadable_count(site)
+            state = self._drain_state.get(site_id)
+            if not site.is_operational or count == 0 or (
+                state is not None and state[0] != count
+            ):
+                self._drain_state[site_id] = (count, now, False)
+                continue
+            if state is None:
+                self._drain_state[site_id] = (count, now, False)
+                continue
+            _, since, alerted = state
+            if not alerted and now - since >= self.config.drain_stall_budget:
+                self._alert(
+                    "liveness.drain_stall",
+                    "warning",
+                    f"{count} unreadable copies have not drained for "
+                    f"{now - since:.0f} sim-time units at an operational site",
+                    site=site_id,
+                    details={"count": count, "stalled_for": now - since},
+                )
+                self._drain_state[site_id] = (count, since, True)
+
+    def _watch_copiers(self, now: float) -> None:
+        for site_id, copier in getattr(self.system, "copiers", {}).items():
+            site = self.system.cluster.sites[site_id]
+            pending = self._unreadable_count(site)
+            signature = dataclasses.astuple(copier.stats)
+            state = self._copier_state.get(site_id)
+            if not site.is_operational or pending == 0 or (
+                state is not None and state[0] != signature
+            ):
+                self._copier_state[site_id] = (signature, now, False)
+                continue
+            if state is None:
+                self._copier_state[site_id] = (signature, now, False)
+                continue
+            _, since, alerted = state
+            if not alerted and now - since >= self.config.copier_stall_budget:
+                self._alert(
+                    "liveness.copier_starved",
+                    "warning",
+                    f"copier made no progress for {now - since:.0f} sim-time "
+                    f"units with {pending} copies pending",
+                    site=site_id,
+                    details={"pending": pending, "starved_for": now - since},
+                )
+                self._copier_state[site_id] = (signature, since, True)
+
+    def _watch_2pc(self, now: float) -> None:
+        if not self.obs.spans_on:
+            return
+        spans = self.obs.spans.spans
+        while self._span_cursor < len(spans):
+            span = spans[self._span_cursor]
+            self._span_cursor += 1
+            if span.category == "2pc" and span.end is None:
+                self._open_2pc[span.span_id] = span
+        for span_id, span in list(self._open_2pc.items()):
+            if span.end is not None:
+                del self._open_2pc[span_id]
+            elif now - span.start > self.config.twopc_budget:
+                self._alert(
+                    "liveness.twopc_overrun",
+                    "warning",
+                    f"2PC open for {now - span.start:.0f} sim-time units "
+                    f"(budget {self.config.twopc_budget:.0f})",
+                    site=span.site_id,
+                    txn_ids=(span.txn_id,) if span.txn_id else (),
+                    span_id=span_id,
+                    details={"open_for": now - span.start},
+                )
+                del self._open_2pc[span_id]
+
+    # -- metrics / reporting --------------------------------------------------
+
+    def _collect(self) -> dict:
+        return {
+            ("audit.alerts", None): float(len(self.alerts.alerts)),
+            ("audit.alerts_critical", None): float(self.alerts.count("critical")),
+            ("audit.alerts_warning", None): float(self.alerts.count("warning")),
+            ("audit.checks", None): float(self.checks),
+            ("audit.graph_txns", None): float(self.stg.graph.number_of_nodes()),
+            ("audit.graph_edges", None): float(self.stg.graph.number_of_edges()),
+        }
+
+    def summary(self) -> dict:
+        """Auditor section of the recovery-timeline report."""
+        self._pump()
+        return {
+            "alerts": len(self.alerts.alerts),
+            "critical": self.alerts.count("critical"),
+            "warning": self.alerts.count("warning"),
+            "by_rule": {
+                rule: len(alerts) for rule, alerts in self.alerts.by_rule().items()
+            },
+            "checks": self.checks,
+            "graph": self.stg.stats,
+        }
+
+
+def attach_auditor(
+    system: "DatabaseSystem", config: AuditConfig | None = None
+) -> ProtocolAuditor:
+    """Attach a :class:`ProtocolAuditor` to a built (idle) system.
+
+    Idempotent: a system audits at most once. Attach after construction
+    and before driving load — the graph and oracle assume they observe
+    every commit.
+    """
+    existing = system.obs.audit
+    if existing is not None:
+        return existing
+    return ProtocolAuditor(system, config)

@@ -8,6 +8,7 @@ Usage::
     python -m repro bench [--quick] [--check]
     python -m repro trace --experiment e2 --out trace.json [--jsonl spans.jsonl]
     python -m repro metrics --experiment e2 [--out metrics.json]
+    python -m repro audit --experiment e2 [--out alerts.jsonl]
 
 Each experiment prints the table documented in EXPERIMENTS.md; ``small``
 scale finishes in a few seconds per experiment, ``full`` matches the
@@ -25,6 +26,14 @@ observability stream: ``trace`` writes a Chrome trace-event file for
 chrome://tracing or https://ui.perfetto.dev (plus optionally the raw
 JSONL stream), ``metrics`` a metrics-registry snapshot; both print the
 recovery-timeline report.
+
+``audit`` runs the same traced scenario under the online protocol
+auditor (:mod:`repro.audit`): live 1-STG cycle detection, session
+coherence, missing-list conservatism, ROWAA write coverage, WAL/durable
+coherence, and liveness watchdogs. It exports the structured alert
+stream as JSONL, prints the auditor summary table and the
+recovery-timeline report, and exits non-zero when any **critical**
+alert fired — which is exactly the CI audit gate.
 """
 
 from __future__ import annotations
@@ -118,7 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         help="experiment id (e1..e9), 'all', 'list', 'bench', 'trace', "
-        "or 'metrics'",
+        "'metrics', or 'audit'",
     )
     parser.add_argument("--seed", type=int, default=3, help="master seed")
     parser.add_argument(
@@ -164,14 +173,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--out", default=None, metavar="PATH",
-        help="bench/trace/metrics: write this run's output to a "
-        "standalone file (trace default: trace.json)",
+        help="bench/trace/metrics/audit: write this run's output to a "
+        "standalone file (trace default: trace.json; audit default: "
+        "alerts.jsonl)",
     )
-    # trace/metrics-only options (ignored by the other subcommands).
+    # trace/metrics/audit-only options (ignored by the other subcommands).
     parser.add_argument(
         "--experiment", dest="scenario", default="e2", metavar="EID",
-        help="trace/metrics: which experiment's traced scenario to run "
-        "(default: e2)",
+        help="trace/metrics/audit: which experiment's traced scenario to "
+        "run (default: e2)",
     )
     parser.add_argument(
         "--jsonl", default=None, metavar="PATH",
@@ -282,7 +292,11 @@ def run_trace(args: argparse.Namespace) -> int:
     from repro.obs.report import recovery_timeline, render_recovery_timeline
     from repro.obs.scenarios import run_traced
 
-    run = run_traced(args.scenario, seed=args.seed)
+    try:
+        run = run_traced(args.scenario, seed=args.seed)
+    except ValueError as exc:
+        print(f"trace: {exc}", file=sys.stderr)
+        return 2
     label = f"{run.experiment}@seed={args.seed}"
     out = args.out or "trace.json"
     n_events = export_chrome_trace(run.obs, out, label=label)
@@ -306,7 +320,11 @@ def run_metrics(args: argparse.Namespace) -> int:
     from repro.obs.report import recovery_timeline, render_recovery_timeline
     from repro.obs.scenarios import run_traced
 
-    run = run_traced(args.scenario, seed=args.seed)
+    try:
+        run = run_traced(args.scenario, seed=args.seed)
+    except ValueError as exc:
+        print(f"metrics: {exc}", file=sys.stderr)
+        return 2
     if args.out:
         export_metrics_json(
             run.obs, args.out, label=f"{run.experiment}@seed={args.seed}"
@@ -317,6 +335,41 @@ def run_metrics(args: argparse.Namespace) -> int:
         print(f"{name}: {snapshot['global'][name]}")
     print()
     print(render_recovery_timeline(recovery_timeline(run.system)))
+    return 0
+
+
+def run_audit(args: argparse.Namespace) -> int:
+    """The ``audit`` subcommand: traced scenario under the auditor.
+
+    Exit status: 0 when no critical alert fired, 1 on any critical
+    alert (the CI audit gate), 2 on an unknown experiment name.
+    """
+    from repro.obs.report import recovery_timeline, render_recovery_timeline
+    from repro.obs.scenarios import run_traced
+
+    try:
+        run = run_traced(args.scenario, seed=args.seed, audit=True)
+    except ValueError as exc:
+        print(f"audit: {exc}", file=sys.stderr)
+        return 2
+    auditor = run.obs.audit
+    summary = auditor.summary()
+    out = args.out or "alerts.jsonl"
+    n_lines = auditor.alerts.export_jsonl(
+        out, label=f"{run.experiment}@seed={args.seed}"
+    )
+    print(f"{out}: {n_lines} JSONL lines")
+    print(auditor.alerts.render_summary())
+    for key, value in run.summary.items():
+        print(f"{key}: {value}")
+    print()
+    print(render_recovery_timeline(recovery_timeline(run.system)))
+    if auditor.alerts.has_critical:
+        print(
+            f"audit: {summary['critical']} critical alert(s)  << VIOLATION",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -334,6 +387,8 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         return run_trace(args)
     if name == "metrics":
         return run_metrics(args)
+    if name == "audit":
+        return run_audit(args)
     if name == "all":
         run_all(args.seed, args.scale, args.jobs, args.bench_out)
         return 0

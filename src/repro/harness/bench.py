@@ -24,6 +24,7 @@ Trajectory schema::
             "kernel_events_obs_off_per_s": 645000.0,
             "timeout_churn_per_s": 800000.0,
             "copier_refresh_per_s": 12.5,
+            "copier_refresh_audited_per_s": 12.0,
             "txn_throughput_per_s": 120.0
           },
           "obs": {"copier_refresh": {"...": "global metrics snapshot"}}
@@ -141,7 +142,8 @@ def _noop() -> None:
 
 
 def bench_copier_refresh(
-    n_items: int = 16, repeats: int = 3, snapshots: dict | None = None
+    n_items: int = 16, repeats: int = 3, snapshots: dict | None = None,
+    audit: bool = False,
 ) -> float:
     """Copier renovation throughput: stale copies refreshed per second.
 
@@ -151,6 +153,13 @@ def bench_copier_refresh(
     ``"copier_refresh"`` — the trajectory keeps it so a throughput shift
     can be traced to a behaviour shift (more aborts, more messages)
     rather than guessed at.
+
+    ``audit=True`` runs the same scenario with the online protocol
+    auditor attached (``copier_refresh_audited_per_s`` in the suite):
+    the gap against the plain number is the price of live invariant
+    checking, recorded in the trajectory but not gated — the <5%
+    ``--max-overhead`` gate covers the auditor-*off* path, which stays
+    hook-free.
     """
     from repro.baselines import build_rowaa_system
     from repro.net.latency import ConstantLatency
@@ -162,6 +171,10 @@ def bench_copier_refresh(
             kernel, 3, {f"X{i}": 0 for i in range(n_items)},
             latency=ConstantLatency(1.0), config=TxnConfig(),
         )
+        if audit:
+            from repro.audit import attach_auditor
+
+            attach_auditor(system)
         system.crash(3)
         kernel.run(until=kernel.now + 40)
 
@@ -256,6 +269,9 @@ def run_suite(quick: bool = False, snapshots: dict | None = None) -> dict:
             "copier_refresh_per_s": bench_copier_refresh(
                 n_items=8, repeats=1, snapshots=snapshots
             ),
+            "copier_refresh_audited_per_s": bench_copier_refresh(
+                n_items=8, repeats=1, audit=True
+            ),
             "txn_throughput_per_s": bench_txn_throughput(
                 n_txns=60, repeats=1, snapshots=snapshots
             ),
@@ -265,6 +281,7 @@ def run_suite(quick: bool = False, snapshots: dict | None = None) -> dict:
         "kernel_events_obs_off_per_s": bench_kernel_events_obs_off(),
         "timeout_churn_per_s": bench_timeout_churn(),
         "copier_refresh_per_s": bench_copier_refresh(snapshots=snapshots),
+        "copier_refresh_audited_per_s": bench_copier_refresh(audit=True),
         "txn_throughput_per_s": bench_txn_throughput(snapshots=snapshots),
     }
 

@@ -141,7 +141,7 @@ def _one_cell(scheme, seed, n_sites, replication, spec, failed, load_duration):
     return readers.stats.availability, writers.stats.availability, refused
 
 
-def traced_scenario(seed: int = 0):
+def traced_scenario(seed: int = 0, audit: bool = False):
     """One traced cell for ``repro trace``: one crashed site, mixed load.
 
     Mirrors the one-failed-site cell of the grid on a small
@@ -155,6 +155,7 @@ def traced_scenario(seed: int = 0):
     kernel, system, obs = build_traced_scheme(
         "rowaa", cell_seed("e1-trace", seed), n_sites, spec.initial_items(),
         catalog=catalog,
+        audit=audit,
     )
     system.crash(n_sites)
     settle(kernel, system, 80.0)

@@ -156,7 +156,7 @@ def _one_trial(scenario, seed, n_sites, n_items):
     return system.recovery_records()
 
 
-def traced_scenario(seed: int = 0):
+def traced_scenario(seed: int = 0, audit: bool = False):
     """One traced crash-during-t1 trial for ``repro trace``.
 
     A second site crashes inside the recovery window, forcing the §3.4
@@ -166,7 +166,7 @@ def traced_scenario(seed: int = 0):
     n_sites, n_items = 4, 8
     spec = WorkloadSpec(n_items=n_items)
     kernel, system, obs = build_traced_scheme(
-        "rowaa", seed, n_sites, spec.initial_items()
+        "rowaa", seed, n_sites, spec.initial_items(), audit=audit
     )
     rng = random.Random(seed)
     system.crash(n_sites)

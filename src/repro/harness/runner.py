@@ -66,6 +66,7 @@ def build_traced_scheme(
     items: dict[str, object],
     catalog: Catalog | None = None,
     txn_config: TxnConfig | None = None,
+    audit: bool = False,
     **kwargs: typing.Any,
 ) -> tuple[Kernel, DatabaseSystem, Observability]:
     """Like :func:`build_scheme`, but with spans + timeline recording on.
@@ -73,6 +74,9 @@ def build_traced_scheme(
     Used by ``repro trace`` / ``repro metrics``: the returned
     :class:`~repro.obs.Observability` carries the span tree, timeline
     instants, and metrics registry for export after the scenario runs.
+    With ``audit=True`` (``repro audit``) a
+    :class:`~repro.audit.ProtocolAuditor` is attached before any load
+    runs; its alert log rides on ``obs.audit``.
     """
     kernel = Kernel(seed=seed)
     obs = Observability(kernel, spans=True, timeline=True)
@@ -88,6 +92,10 @@ def build_traced_scheme(
         obs=obs,
         **kwargs,
     )
+    if audit:
+        from repro.audit import attach_auditor
+
+        attach_auditor(system)
     return kernel, system, obs
 
 

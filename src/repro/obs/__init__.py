@@ -58,6 +58,9 @@ class Observability:
         self.kernel = kernel
         self.registry = MetricsRegistry()
         self.spans = SpanRecorder(kernel, enabled=spans, timeline=timeline)
+        #: The attached protocol auditor (repro.audit), or None. Hot
+        #: paths only ever test this for None-ness.
+        self.audit: typing.Any = None
 
     @property
     def spans_on(self) -> bool:

@@ -37,10 +37,12 @@ def instrument_system(system: typing.Any) -> None:
             ("net.sent", None): float(stats.sent),
             ("net.delivered", None): float(stats.delivered),
             ("net.local_sent", None): float(stats.local_sent),
+            ("net.local_delivered", None): float(stats.local_delivered),
             ("net.dropped_dst_down", None): float(stats.dropped_dst_down),
             ("net.dropped_src_down", None): float(stats.dropped_src_down),
             ("net.dropped_loss", None): float(stats.dropped_loss),
             ("net.dropped_partition", None): float(stats.dropped_partition),
+            ("net.dropped_local_down", None): float(stats.dropped_local_down),
             ("net.bytes_sent", None): float(stats.bytes_sent),
             ("net.bytes_delivered", None): float(stats.bytes_delivered),
         }

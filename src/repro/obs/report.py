@@ -100,7 +100,7 @@ def recovery_timeline(system: typing.Any) -> dict:
         for e in sites.values()
         if e.get("time_to_fully_current") is not None
     ]
-    return {
+    report = {
         "sim_time": system.kernel.now,
         "sites": sites,
         "global": {
@@ -115,6 +115,10 @@ def recovery_timeline(system: typing.Any) -> dict:
             ),
         },
     }
+    auditor = getattr(system.obs, "audit", None)
+    if auditor is not None:
+        report["audit"] = auditor.summary()
+    return report
 
 
 def _fmt(value: object) -> str:
@@ -171,4 +175,14 @@ def render_recovery_timeline(report: dict) -> str:
                 f"{wal['records_lost_unflushed']:>4}  {wal['records_shipped']:>7}  "
                 f"{wal['copies_performed']:>6}"
             )
+    audit = report.get("audit")
+    if audit is not None:
+        lines.append(
+            f"audit: {audit['alerts']} alerts "
+            f"({audit['critical']} critical, {audit['warning']} warning), "
+            f"{audit['checks']} checks, 1-STG "
+            f"{audit['graph']['nodes']} txns / {audit['graph']['edges']} edges"
+        )
+        for rule, count in sorted(audit["by_rule"].items()):
+            lines.append(f"audit rule {rule}: {count}")
     return "\n".join(lines)

@@ -49,8 +49,13 @@ def scenario_names() -> list[str]:
     return sorted(SCENARIO_MODULES)
 
 
-def run_traced(experiment: str, seed: int = 0) -> TracedRun:
-    """Run the named experiment's traced scenario to completion."""
+def run_traced(experiment: str, seed: int = 0, audit: bool = False) -> TracedRun:
+    """Run the named experiment's traced scenario to completion.
+
+    ``audit=True`` runs it under the online protocol auditor
+    (``repro audit``): the returned run's ``obs.audit`` carries the
+    alert log and the incremental 1-STG.
+    """
     try:
         module_name = SCENARIO_MODULES[experiment]
     except KeyError:
@@ -59,5 +64,5 @@ def run_traced(experiment: str, seed: int = 0) -> TracedRun:
             f"choose from {', '.join(scenario_names())}"
         ) from None
     module = importlib.import_module(module_name)
-    kernel, system, obs, summary = module.traced_scenario(seed)
+    kernel, system, obs, summary = module.traced_scenario(seed, audit=audit)
     return TracedRun(experiment, kernel, system, obs, summary)

@@ -147,6 +147,8 @@ class TxnContext:
         semantics: "OP fails if any one of the op's fails", §2).
         """
         applied_sites = tuple(site_id for site_id, _expected in targets)
+        if self.tm.site.obs.audit is not None:
+            self.txn.logical_writes.append((item, applied_sites))
         futures = []
         for site_id, expected in targets:
             request = WriteRequest(

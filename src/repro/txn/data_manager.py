@@ -94,6 +94,19 @@ class DataManager:
         self._participations: dict[str, _Participation] = {}
         self._decided: dict[str, tuple[str, Version | None]] = {}
         self.unreadable_read_hooks: list[typing.Callable[[str], None]] = []
+        #: Fault-injection switch for the audit suite: disabling it makes
+        #: the DM serve stale-view requests, which the protocol auditor's
+        #: session-coherence monitor must then catch.
+        self.session_check_enabled = True
+        #: Read-only auditor taps; empty (and skipped) unless an auditor
+        #: is attached. Signatures:
+        #: ``access(expected, privileged, actual_session)`` after the
+        #: admission checks pass; ``read(item, version)`` per served
+        #: database read; ``apply(txn_id, kind, txn_seq, item, value,
+        #: version, overridden)`` per committed physical write.
+        self.access_audit_hooks: list[typing.Callable] = []
+        self.read_audit_hooks: list[typing.Callable] = []
+        self.commit_apply_hooks: list[typing.Callable] = []
         #: Optional §5 stale-tracking refinement (fail-locks / missing
         #: lists); called as ``on_commit_write(item, applied, missed)``
         #: for every committed physical write at this site.
@@ -129,22 +142,27 @@ class DataManager:
     # -- access checks -----------------------------------------------------------
 
     def _check_access(self, expected: int | None, privileged: bool) -> None:
-        if privileged:
-            return
-        # §3.1: the request carries the session number the requester
-        # believes this site is in; inequality with as[k] rejects it.
-        # A recovering site (as[k] = 0) mismatches every tagged request,
-        # which is exactly how the paper keeps user transactions out
-        # before the type-1 control transaction commits.
-        if expected is not None and expected != self.actual_session:
-            self.stats_session_rejections += 1
-            raise SessionMismatch(self.site_id, expected, self.actual_session)
-        if not self.site.is_operational or self.site.user_frozen:
-            # The frozen state (partition mode) refuses unprivileged
-            # physical operations too: serving a read from a possibly
-            # stale copy to a peer with an old view would leak the
-            # pre-partition world.
-            raise NotOperational(self.site_id)
+        if not privileged:
+            # §3.1: the request carries the session number the requester
+            # believes this site is in; inequality with as[k] rejects it.
+            # A recovering site (as[k] = 0) mismatches every tagged request,
+            # which is exactly how the paper keeps user transactions out
+            # before the type-1 control transaction commits.
+            if (
+                self.session_check_enabled
+                and expected is not None
+                and expected != self.actual_session
+            ):
+                self.stats_session_rejections += 1
+                raise SessionMismatch(self.site_id, expected, self.actual_session)
+            if not self.site.is_operational or self.site.user_frozen:
+                # The frozen state (partition mode) refuses unprivileged
+                # physical operations too: serving a read from a possibly
+                # stale copy to a peer with an old view would leak the
+                # pre-partition world.
+                raise NotOperational(self.site_id)
+        for hook in self.access_audit_hooks:
+            hook(expected, privileged, self.actual_session)
 
     def _participation(
         self, request: ReadRequest | BatchReadRequest | WriteRequest, src: int
@@ -206,6 +224,8 @@ class DataManager:
             version_ts=copy.version.ts,
             version_commit=copy.version.commit,
         )
+        for hook in self.read_audit_hooks:
+            hook(request.item, copy.version)
         return copy.value, copy.version
 
     def _handle_read_batch(
@@ -256,6 +276,8 @@ class DataManager:
                 version_ts=copy.version.ts,
                 version_commit=copy.version.commit,
             )
+            for hook in self.read_audit_hooks:
+                hook(item, copy.version)
             results.append((copy.value, copy.version))
         return results
 
@@ -327,6 +349,16 @@ class DataManager:
                     intent.missed_sites,
                     value=intent.value,
                     version=applied,
+                )
+            for hook in self.commit_apply_hooks:
+                hook(
+                    txn_id,
+                    part.kind,
+                    part.txn_seq,
+                    item,
+                    intent.value,
+                    applied,
+                    intent.version_override is not None,
                 )
         self._decided[txn_id] = ("committed", version)
         if part.writes and self.site.wal is not None:

@@ -73,6 +73,11 @@ class Transaction:
     view: dict[int, int] = dataclasses.field(default_factory=dict)
     touched_sites: set[int] = dataclasses.field(default_factory=set)
     wrote_sites: set[int] = dataclasses.field(default_factory=set)
+    #: ``(item, fanned-out sites)`` per logical write-all; recorded only
+    #: while a protocol auditor is attached (ROWAA coverage check).
+    logical_writes: list[tuple[str, tuple[int, ...]]] = dataclasses.field(
+        default_factory=list, repr=False
+    )
     #: Root observability span (repro.obs.spans.Span) when tracing is on.
     span: typing.Any = dataclasses.field(default=None, repr=False)
 

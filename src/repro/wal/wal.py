@@ -81,6 +81,11 @@ class SiteWal:
         #: not the current high commit, which post-recovery writes keep
         #: advancing — anchors log-shipping catch-up requests.
         self.restore_high_commit = 0
+        #: Read-only auditor taps, called (with no arguments) after every
+        #: group commit / checkpoint; empty and skipped unless a protocol
+        #: auditor is attached.
+        self.flush_hooks: list[typing.Callable[[], None]] = []
+        self.checkpoint_hooks: list[typing.Callable[[], None]] = []
         site.copies.journal = self._journal
         site.crash_hooks.append(self._on_crash)
 
@@ -116,6 +121,8 @@ class SiteWal:
         self._records_since_checkpoint += flushed
         if self._records_since_checkpoint >= self.config.checkpoint_every:
             self.checkpoint()
+        for hook in self.flush_hooks:
+            hook()
         return flushed
 
     # -- checkpoints -----------------------------------------------------------
@@ -157,6 +164,8 @@ class SiteWal:
         self._records_since_checkpoint = 0
         if span is not None:
             obs.spans.finish(span)
+        for hook in self.checkpoint_hooks:
+            hook()
         return checkpoint_lsn
 
     @property

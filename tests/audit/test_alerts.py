@@ -1,0 +1,72 @@
+"""Unit tests for the structured alert records and their log."""
+
+import json
+
+import pytest
+
+from repro.audit import Alert, AlertLog
+
+
+class TestAlert:
+    def test_rejects_unknown_severity(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            Alert("x.rule", "catastrophic", 1.0, "boom")
+
+    def test_to_dict_is_json_serializable(self):
+        alert = Alert(
+            "onesr.cycle", "critical", 12.5, "cycle",
+            site=3, txn_ids=("T1@1", "T2@2"), details={"n": 2},
+        )
+        doc = json.loads(json.dumps(alert.to_dict()))
+        assert doc["type"] == "alert"
+        assert doc["rule"] == "onesr.cycle"
+        assert doc["txn_ids"] == ["T1@1", "T2@2"]
+        assert doc["details"] == {"n": 2}
+
+
+class TestAlertLog:
+    def test_dedupe_key_suppresses_repeats(self):
+        log = AlertLog()
+        assert log.record("r", "critical", 1.0, "m", dedupe_key=(3, "X")) is not None
+        assert log.record("r", "critical", 2.0, "m", dedupe_key=(3, "X")) is None
+        # A different rule with the same key payload is NOT deduped.
+        assert log.record("s", "critical", 3.0, "m", dedupe_key=(3, "X")) is not None
+        assert len(log.alerts) == 2
+
+    def test_counts_and_critical(self):
+        log = AlertLog()
+        log.record("a", "warning", 1.0, "w")
+        log.record("b", "critical", 2.0, "c")
+        log.record("a", "warning", 3.0, "w2")
+        assert log.count() == 3
+        assert log.count("warning") == 2
+        assert log.count(rule="a") == 2
+        assert log.has_critical
+        assert [a.rule for a in log.critical()] == ["b"]
+        assert set(log.by_rule()) == {"a", "b"}
+
+    def test_export_jsonl_shape(self, tmp_path):
+        log = AlertLog()
+        log.record("a", "warning", 1.0, "w", site=2)
+        path = tmp_path / "alerts.jsonl"
+        n = log.export_jsonl(str(path), label="e2@seed=1")
+        assert n == 2
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines[0] == {
+            "type": "meta", "label": "e2@seed=1",
+            "alerts": 1, "critical": 0, "warning": 1,
+        }
+        assert lines[1]["type"] == "alert"
+        assert lines[1]["site"] == 2
+
+    def test_render_summary_empty_and_grouped(self):
+        log = AlertLog()
+        assert "all monitored invariants held" in log.render_summary()
+        log.record("b.rule", "critical", 2.0, "broken", site=1)
+        log.record("b.rule", "critical", 4.0, "broken again", site=2)
+        rendered = log.render_summary()
+        assert "1 warning" not in rendered.splitlines()[1]
+        assert "2 critical" in rendered
+        # Grouped: one row for the rule, anchored at the first occurrence.
+        assert rendered.count("b.rule") == 1
+        assert "t=2.0 site 1" in rendered

@@ -1,0 +1,239 @@
+"""Directed fault injection: every critical invariant monitor must fire.
+
+Each test breaks exactly one protocol mechanism (skips the session
+check, installs a stale NS value, silently regresses a copy, drops a
+write-all fan-out leg, under-populates a missing list, corrupts the
+durable image) and asserts the matching rule fires — the auditor has no
+false negatives. The complementary no-false-positives property is
+``test_sweep.py`` (E1–E9 under the auditor, zero alerts).
+"""
+
+import pytest
+
+from repro.audit import AuditConfig, attach_auditor
+from repro.core.config import RowaaConfig
+from repro.core.nominal import ns_item
+from repro.core.rowaa import RowaaStrategy
+from repro.harness.runner import build_traced_scheme
+from repro.txn.transaction import TxnKind
+from repro.wal.log import CHECKPOINT_KEY
+
+
+def _write(item, value):
+    def program(ctx):
+        yield from ctx.write(item, value)
+
+    return program
+
+
+def _read(item):
+    def program(ctx):
+        value = yield from ctx.read(item)
+        return value
+
+    return program
+
+
+def _build(config=None, **kwargs):
+    kernel, system, _obs = build_traced_scheme(
+        "rowaa", 11, 3, {"X": 0, "Y": 0}, **kwargs
+    )
+    auditor = attach_auditor(system, config)
+    return kernel, system, auditor
+
+
+class TestSessionCoherence:
+    def test_skipped_session_check_fires(self):
+        kernel, system, auditor = _build()
+        dm = system.dms[3]
+        dm.session_check_enabled = False  # the injected protocol bug
+        dm.actual_session = 99
+        kernel.run(system.submit(1, _write("X", 1)))
+        assert auditor.alerts.count(rule="session.check") >= 1
+        alert = auditor.alerts.by_rule()["session.check"][0]
+        assert alert.severity == "critical"
+        assert alert.site == 3
+        assert alert.details["actual"] == 99
+
+    def test_non_monotonic_ns_announcement_fires(self):
+        kernel, system, auditor = _build()
+
+        def announce(value):
+            def program(ctx):
+                yield from ctx.dm_write(
+                    1, ns_item(2), value, expected=None, privileged=True
+                )
+
+            return program
+
+        kernel.run(system.submit(1, announce(5), kind=TxnKind.CONTROL))
+        assert auditor.alerts.count(rule="session.ns_monotonic") == 0
+        kernel.run(system.submit(1, announce(3), kind=TxnKind.CONTROL))
+        assert auditor.alerts.count(rule="session.ns_monotonic") == 1
+
+    def test_recycled_sessions_exempt(self):
+        kernel, system, auditor = _build(
+            rowaa_config=RowaaConfig(session_modulus=4)
+        )
+
+        def announce(value):
+            def program(ctx):
+                yield from ctx.dm_write(
+                    1, ns_item(2), value, expected=None, privileged=True
+                )
+
+            return program
+
+        kernel.run(system.submit(1, announce(3), kind=TxnKind.CONTROL))
+        kernel.run(system.submit(1, announce(1), kind=TxnKind.CONTROL))
+        assert auditor.alerts.count(rule="session.ns_monotonic") == 0
+
+
+class TestOracleStaleness:
+    def test_silently_regressed_copy_fires_on_read(self):
+        kernel, system, auditor = _build()
+        site3 = system.cluster.sites[3]
+        old = site3.copies.get("X")
+        old_value, old_version = old.value, old.version
+        kernel.run(system.submit(1, _write("X", 7)))
+        # Regress site 3's copy behind the DM's back (no unreadable mark).
+        copy = site3.copies.get("X")
+        copy.value, copy.version = old_value, old_version
+        kernel.run(system.submit(3, _read("X")))  # local read preference
+        assert auditor.alerts.count(rule="oracle.stale_read") == 1
+        assert auditor.alerts.alerts[0].site == 3
+
+    def test_under_populated_missing_list_fires(self):
+        kernel, system, auditor = _build(
+            rowaa_config=RowaaConfig(identify_mode="missing-lists")
+        )
+        system.crash(3)
+        kernel.run(until=kernel.now + 40)  # detection + type-2 exclusion
+        kernel.run(system.submit_with_retry(1, _write("X", 42)))
+
+        policy = system.policies[3]
+        original = policy.collect_stale
+
+        def lossy(manager):
+            stale = yield from original(manager)
+            return [item for item in stale if item != "X"]  # drop one entry
+
+        policy.collect_stale = lossy
+        system.power_on(3)
+        kernel.run(until=kernel.now + 120)
+        assert auditor.alerts.count(rule="missinglist.conservatism") >= 1
+        alert = auditor.alerts.by_rule()["missinglist.conservatism"][0]
+        assert alert.site == 3
+        assert alert.details["item"] == "X"
+
+    def test_faithful_missing_list_stays_silent(self):
+        kernel, system, auditor = _build(
+            rowaa_config=RowaaConfig(identify_mode="missing-lists")
+        )
+        system.crash(3)
+        kernel.run(until=kernel.now + 40)
+        kernel.run(system.submit_with_retry(1, _write("X", 42)))
+        system.power_on(3)
+        kernel.run(until=kernel.now + 120)
+        assert auditor.alerts.count(rule="missinglist.conservatism") == 0
+        assert not auditor.alerts.has_critical
+
+
+class TestWriteCoverage:
+    def test_dropped_fanout_leg_fires(self, monkeypatch):
+        kernel, system, auditor = _build()
+
+        def dropping_write(self, ctx, item, value):
+            resident = ctx.tm.catalog.sites_of(item)
+            targets = [
+                (site, ctx.view[site])
+                for site in resident
+                if ctx.view.get(site, 0) != 0
+            ]
+            assert len(targets) > 1
+            yield from ctx.dm_write_all(targets[:-1], item, value)
+
+        monkeypatch.setattr(RowaaStrategy, "write", dropping_write)
+        kernel.run(system.submit(1, _write("X", 1)))
+        assert auditor.alerts.count(rule="rowaa.write_coverage") == 1
+        alert = auditor.alerts.alerts[-1]
+        assert alert.details["item"] == "X"
+        assert alert.details["missing"] == [3]
+
+
+class TestWalCoherence:
+    def test_checkpoint_beyond_durable_lsn_fires(self):
+        kernel, system, auditor = _build()
+        wal = system.cluster.sites[2].wal
+        wal.last_checkpoint_lsn = wal.log.durable_lsn + 5  # corrupt claim
+        kernel.run(system.submit(1, _write("X", 1)))  # group commit -> hook
+        assert auditor.alerts.count(rule="wal.checkpoint_bound") >= 1
+
+    def test_durable_lsn_regression_fires(self):
+        kernel, system, auditor = _build()
+        for value in range(3):
+            kernel.run(system.submit(1, _write("X", value)))
+        log = system.cluster.sites[2].wal.log
+        assert log.durable_lsn >= 3
+        log.durable_lsn -= 3  # simulate a lost durable tail
+        log.next_lsn = log.durable_lsn + 1
+        kernel.run(system.submit(1, _write("X", 9)))
+        assert auditor.alerts.count(rule="wal.durable_monotonic") >= 1
+
+    def test_corrupted_checkpoint_fails_replay_fingerprint(self):
+        kernel, system, auditor = _build()
+        kernel.run(system.submit(1, _write("X", 7)))
+        site = system.cluster.sites[3]
+        site.wal.checkpoint()
+        system.crash(3)
+        checkpoint = site.stable.get(CHECKPOINT_KEY)
+        value, version, unreadable = checkpoint["items"]["X"]
+        checkpoint["items"]["X"] = (999999, version, unreadable)
+        site.stable.put(CHECKPOINT_KEY, checkpoint)  # gets never alias
+        system.power_on(3)
+        assert auditor.alerts.count(rule="wal.replay_fingerprint") == 1
+        kernel.run(until=kernel.now + 60)  # let the recovery drain
+
+    def test_clean_crash_recovery_fingerprint_silent(self):
+        kernel, system, auditor = _build()
+        kernel.run(system.submit(1, _write("X", 7)))
+        site = system.cluster.sites[3]
+        site.wal.checkpoint()
+        system.crash(3)
+        system.power_on(3)
+        kernel.run(until=kernel.now + 120)
+        assert auditor.alerts.count(rule="wal.replay_fingerprint") == 0
+        assert not auditor.alerts.has_critical
+
+
+class TestAttachment:
+    def test_attach_is_idempotent(self):
+        kernel, system, auditor = _build()
+        assert attach_auditor(system) is auditor
+        assert system.obs.audit is auditor
+
+    def test_no_auditor_means_empty_hooks(self):
+        from repro.harness.runner import build_scheme
+
+        kernel, system = build_scheme("rowaa", 7, 3, {"X": 0})
+        assert system.obs.audit is None
+        assert all(not dm.access_audit_hooks for dm in system.dms.values())
+        assert all(not dm.read_audit_hooks for dm in system.dms.values())
+        assert all(not dm.commit_apply_hooks for dm in system.dms.values())
+        finished = []
+        system.tms[1].finish_hooks.append(finished.append)
+        kernel.run(system.submit(1, _write("X", 1)))
+        # The per-txn logical-write record is auditor-only bookkeeping.
+        assert finished
+        assert all(not txn.logical_writes for txn in finished)
+
+    def test_summary_shape(self):
+        kernel, system, auditor = _build()
+        kernel.run(system.submit(1, _write("X", 1)))
+        summary = auditor.summary()
+        assert summary["alerts"] == 0
+        assert summary["checks"] > 0
+        assert summary["graph"]["nodes"] >= 1
+        snapshot = system.obs.registry.snapshot()
+        assert snapshot["global"]["audit.alerts"] == 0.0
+        assert snapshot["global"]["audit.checks"] > 0

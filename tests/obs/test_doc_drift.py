@@ -1,0 +1,68 @@
+"""Doc-drift gate: docs/OBSERVABILITY.md's metric catalog is exhaustive.
+
+Parses the three markdown tables of the "Metric catalog" section
+(scalars, histograms, time series) and compares the backticked metric
+names against a live ``registry.snapshot()`` from an audited traced
+run. Adding a metric without cataloguing it — or documenting one that
+no longer exists — fails here.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+from repro.obs.scenarios import run_traced
+
+DOC = pathlib.Path(__file__).resolve().parents[2] / "docs" / "OBSERVABILITY.md"
+
+_NAME = re.compile(r"`([a-z0-9_]+\.[a-z0-9_.]+)`")
+
+
+def _catalog_tables():
+    """The tables of the Metric catalog section, as lists of name sets."""
+    text = DOC.read_text()
+    start = text.index("## Metric catalog")
+    end = text.index("\n## ", start + 1)
+    section = text[start:end]
+    tables, current = [], None
+    for line in section.splitlines():
+        if line.startswith("|"):
+            first_cell = line.split("|")[1]
+            names = set(_NAME.findall(first_cell))
+            if current is None:
+                current = set()
+                tables.append(current)
+            current.update(names)
+        else:
+            current = None
+    return tables
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    run = run_traced("e2", seed=1, audit=True)
+    return run.obs.registry.snapshot()
+
+
+class TestMetricCatalogDrift:
+    def test_section_has_three_tables(self):
+        assert len(_catalog_tables()) == 3
+
+    def test_scalar_names_match_snapshot_exactly(self, snapshot):
+        documented = _catalog_tables()[0]
+        live = set(snapshot["global"])
+        assert documented == live, (
+            f"undocumented: {sorted(live - documented)}; "
+            f"stale rows: {sorted(documented - live)}"
+        )
+
+    def test_histogram_names_match_snapshot_exactly(self, snapshot):
+        documented = _catalog_tables()[1]
+        live = set(snapshot["histograms"])
+        assert documented == live
+
+    def test_series_names_match_snapshot_exactly(self, snapshot):
+        documented = _catalog_tables()[2]
+        live = {key.split("@")[0] for key in snapshot["series"]}
+        assert documented == live

@@ -75,7 +75,14 @@ class TestTraceCli:
         assert "txn.committed" in printed
         assert "recovery timeline" in printed
 
-    def test_trace_unknown_experiment_fails_cleanly(self, tmp_path):
-        with pytest.raises(ValueError):
-            main(["trace", "--experiment", "e0", "--out",
-                  str(tmp_path / "t.json")])
+    @pytest.mark.parametrize("subcommand", ["trace", "metrics", "audit"])
+    def test_unknown_experiment_fails_cleanly(
+        self, subcommand, tmp_path, capsys
+    ):
+        code = main([subcommand, "--experiment", "e0", "--out",
+                     str(tmp_path / "out")])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "unknown experiment 'e0'" in captured.err
+        assert captured.err.startswith(subcommand + ":")
+        assert not (tmp_path / "out").exists()

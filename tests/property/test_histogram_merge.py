@@ -1,0 +1,67 @@
+"""Property test: the ``"all"`` histogram merge is a bucket-wise sum.
+
+For any workload of (site, value) observations, the merged ``"all"``
+entry of ``registry.snapshot()["histograms"]`` must equal the
+bucket-wise sum of the per-site histograms, with consistent count, sum,
+min, and max — merging must neither lose nor invent samples.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.obs.metrics import MetricsRegistry
+
+observations = st.lists(
+    st.tuples(
+        st.sampled_from([1, 2, 3, 4]),  # site
+        st.floats(
+            min_value=0.0, max_value=1e6,
+            allow_nan=False, allow_infinity=False,
+        ),
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+def _bucket_sum(per_site_dicts):
+    total = {}
+    for doc in per_site_dicts:
+        for bound, n in doc["buckets"].items():
+            total[bound] = total.get(bound, 0) + n
+    return total
+
+
+@settings(max_examples=100, deadline=None)
+@given(observations)
+def test_all_merge_is_bucketwise_sum(workload):
+    registry = MetricsRegistry()
+    for site, value in workload:
+        registry.histogram("txn.latency", site).observe(value)
+    snap = registry.snapshot()["histograms"]["txn.latency"]
+    per_site = [doc for key, doc in snap.items() if key != "all"]
+    merged = snap["all"]
+
+    assert merged["buckets"] == _bucket_sum(per_site)
+    assert merged["count"] == sum(doc["count"] for doc in per_site) == len(workload)
+    assert abs(merged["sum"] - sum(value for _s, value in workload)) <= max(
+        1e-3, 1e-9 * abs(merged["sum"])
+    )
+    assert merged["min"] == min(value for _s, value in workload)
+    assert merged["max"] == max(value for _s, value in workload)
+    # Sanity: every observed site has its own entry.
+    assert {f"site_{site}" for site, _v in workload} == set(snap) - {"all"}
+
+
+@settings(max_examples=50, deadline=None)
+@given(observations, observations)
+def test_merge_is_order_independent(first, second):
+    left, right = MetricsRegistry(), MetricsRegistry()
+    for site, value in first + second:
+        left.histogram("h", site).observe(value)
+    for site, value in second + first:
+        right.histogram("h", site).observe(value)
+    assert (
+        left.snapshot()["histograms"]["h"]["all"]
+        == right.snapshot()["histograms"]["h"]["all"]
+    )
