@@ -159,7 +159,9 @@ class OnlineOneStg:
     # -- cycle detection ------------------------------------------------------
 
     def _check_cycles(self, touched: set[str]) -> None:
-        for txn_id in touched:
+        # Sorted so the same cycle is reported for a given seed no matter
+        # how txn-id hashes land across interpreter runs.
+        for txn_id in sorted(touched):
             try:
                 cycle = networkx.find_cycle(self.graph, source=txn_id)
             except networkx.NetworkXNoCycle:

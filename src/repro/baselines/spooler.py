@@ -142,7 +142,9 @@ class SpoolerSystem(RowaaSystem):
         super().__init__(*args, **kwargs)
         self.spools: dict[int, SpoolTracker] = {}
         for site_id in self.cluster.site_ids:
-            site = self.cluster.site(site_id)
+            # Construction-time wiring by the System subclass (the same
+            # sanctioned layer as core/system.py), not protocol logic.
+            site = self.cluster.site(site_id)  # replint: disable=REP003
             tracker = SpoolTracker(site)
             self.spools[site_id] = tracker
             self.dms[site_id].stale_tracker = tracker

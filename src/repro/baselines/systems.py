@@ -22,11 +22,9 @@ from repro.baselines.rowa import StrictROWA
 from repro.baselines.spooler import SpoolerSystem
 from repro.core.config import RowaaConfig
 from repro.core.system import RowaaSystem
-from repro.net.latency import LatencyModel
 from repro.sim.kernel import Kernel
 from repro.storage.catalog import Catalog
 from repro.system import DatabaseSystem
-from repro.txn.config import TxnConfig
 
 
 class DirectorySystem(DatabaseSystem):

@@ -34,6 +34,12 @@ coherence, and liveness watchdogs. It exports the structured alert
 stream as JSONL, prints the auditor summary table and the
 recovery-timeline report, and exits non-zero when any **critical**
 alert fired — which is exactly the CI audit gate.
+
+``lint`` runs replint (:mod:`repro.lint`), the AST-based static
+analysis enforcing the same invariants the auditor checks dynamically
+(determinism, protocol isolation, durable-write discipline) over *all*
+code paths. Exit 0 clean or baseline-only, 1 on new findings, 2 on
+usage errors — see ``docs/STATIC_ANALYSIS.md``.
 """
 
 from __future__ import annotations
@@ -127,7 +133,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         help="experiment id (e1..e9), 'all', 'list', 'bench', 'trace', "
-        "'metrics', or 'audit'",
+        "'metrics', 'audit', or 'lint'",
     )
     parser.add_argument("--seed", type=int, default=3, help="master seed")
     parser.add_argument(
@@ -186,6 +192,29 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--jsonl", default=None, metavar="PATH",
         help="trace: also write the raw JSONL span/metric stream here",
+    )
+    # lint-only options (ignored by the other subcommands).
+    parser.add_argument(
+        "--json", action="store_true",
+        help="lint: emit the machine-readable JSON report",
+    )
+    parser.add_argument(
+        "--path", action="append", default=None, metavar="PATH",
+        help="lint: file or directory to analyse (repeatable; default: "
+        "the installed repro package sources)",
+    )
+    parser.add_argument(
+        "--rules", default=None, metavar="IDS",
+        help="lint: comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="lint: grandfathering baseline file "
+        "(default: replint_baseline.json)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="lint: rewrite the baseline from the current findings",
     )
     return parser
 
@@ -389,6 +418,10 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         return run_metrics(args)
     if name == "audit":
         return run_audit(args)
+    if name == "lint":
+        from repro.lint.cli import run_lint
+
+        return run_lint(args)
     if name == "all":
         run_all(args.seed, args.scale, args.jobs, args.bench_out)
         return 0

@@ -121,7 +121,9 @@ class FailLockPolicy:
                 if resident not in reached_set:
                     stale.add(item)
                     break
-        return [item for item in stale if self.site.copies.has(item)]
+        # Sorted: the stale list drives marking and copier scheduling
+        # order, so set-hash order here would be run-to-run nondeterminism.
+        return sorted(item for item in stale if self.site.copies.has(item))
 
     def after_marked(
         self, manager: "RecoveryManager", items: typing.Sequence[str]

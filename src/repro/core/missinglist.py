@@ -137,7 +137,9 @@ class MissingListPolicy:
 
         self.seed(inherited, manager.kernel.now)
         self._reached = list(reached)
-        return [item for item in stale if self.site.copies.has(item)]
+        # Sorted: the stale list drives marking and copier scheduling
+        # order, so set-hash order here would be run-to-run nondeterminism.
+        return sorted(item for item in stale if self.site.copies.has(item))
 
     def after_marked(
         self, manager: "RecoveryManager", items: typing.Sequence[str]

@@ -25,7 +25,6 @@ def site_report(system: DatabaseSystem) -> Table:
     for site_id in system.cluster.site_ids:
         site = system.cluster.site(site_id)
         tm = system.tms[site_id]
-        dm = system.dms[site_id]
         sessions = getattr(system, "sessions", None)
         unreadable = sum(
             1

@@ -19,7 +19,6 @@ in the serial order must be the writer of the highest committed version.
 from __future__ import annotations
 
 import dataclasses
-import typing
 
 import networkx
 

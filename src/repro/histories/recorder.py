@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-import typing
 
 INITIAL_TXN = "T0@0"
 """Name of the implicit initial transaction that wrote every copy (§4)."""

@@ -1,0 +1,37 @@
+"""replint — AST-based static analysis for the reproduction's invariants.
+
+The protocol's correctness rests on properties the interpreter cannot
+check: runs must be deterministic under a seed, all randomness must flow
+through :class:`~repro.sim.rng.RngRegistry`, simulated sites may touch
+remote state only through the network layer, and durable state must go
+through the :class:`~repro.storage.stable.StableStorage`/WAL API. The
+online auditor (:mod:`repro.audit`) verifies these dynamically, per run;
+replint verifies them statically, over *all* code paths, at PR time.
+
+Pieces:
+
+* :mod:`repro.lint.engine` — file walker + per-file analysis driver.
+* :mod:`repro.lint.registry` — the rule base class and rule registry.
+* :mod:`repro.lint.rules` — the REP001–REP006 rule implementations.
+* :mod:`repro.lint.suppress` — ``# replint: disable=RULE`` comments.
+* :mod:`repro.lint.baseline` — grandfathering of pre-existing findings.
+* :mod:`repro.lint.report` — human-readable and JSON reporters.
+* :mod:`repro.lint.cli` — the ``repro lint`` subcommand.
+
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalog and workflow.
+"""
+
+from repro.lint.engine import LintEngine, lint_paths
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Rule, all_rules, get_rule, rule_ids
+
+__all__ = [
+    "Finding",
+    "LintEngine",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "rule_ids",
+]

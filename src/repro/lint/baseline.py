@@ -1,0 +1,78 @@
+"""Grandfathering baseline: pre-existing findings that do not fail CI.
+
+The baseline file maps :attr:`Finding.baseline_key` → count, so a rule
+can be introduced before the codebase is clean: existing violations are
+recorded once (``repro lint --update-baseline``) and only *new*
+findings fail the gate. Keys hash the offending line's content, so the
+baseline survives unrelated line-number churn but any edit to a flagged
+line re-surfaces it.
+
+The companion regression test (``tests/lint/test_baseline_gate.py``)
+pins the entry count so the baseline can only shrink over time.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import pathlib
+
+from repro.lint.findings import Finding
+
+_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but cannot be parsed."""
+
+
+def load(path: pathlib.Path) -> dict[str, int]:
+    """Load a baseline file; a missing file is an empty baseline."""
+    if not path.exists():
+        return {}
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+        entries = raw["entries"]
+        if not isinstance(entries, dict):
+            raise TypeError("entries must be an object")
+        return {str(key): int(count) for key, count in entries.items()}
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+        raise BaselineError(f"malformed baseline file {path}: {exc}") from exc
+
+
+def save(path: pathlib.Path, findings: list[Finding]) -> int:
+    """Write the baseline covering ``findings``; returns the entry count."""
+    counts = collections.Counter(finding.baseline_key for finding in findings)
+    payload = {
+        "version": _VERSION,
+        "comment": (
+            "Grandfathered replint findings (see docs/STATIC_ANALYSIS.md). "
+            "This file may only shrink: tests/lint/test_baseline_gate.py "
+            "pins its size."
+        ),
+        "entries": {key: counts[key] for key in sorted(counts)},
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(counts)
+
+
+def partition(
+    findings: list[Finding], baseline: dict[str, int]
+) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into (new, grandfathered).
+
+    A baseline entry with count N absorbs the first N findings sharing
+    that key (several identical lines in one file hash identically);
+    any excess is new.
+    """
+    remaining = dict(baseline)
+    new: list[Finding] = []
+    old: list[Finding] = []
+    for finding in findings:
+        key = finding.baseline_key
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            old.append(finding)
+        else:
+            new.append(finding)
+    return new, old

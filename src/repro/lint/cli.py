@@ -1,0 +1,100 @@
+"""The ``repro lint`` subcommand.
+
+Usage (mirrors the trace/metrics/audit exit-code contract)::
+
+    python -m repro lint                      # lint src/repro, human report
+    python -m repro lint --json [--out f.json]
+    python -m repro lint --path src/repro/core --rules REP001,REP002
+    python -m repro lint --update-baseline    # grandfather current findings
+
+Exit status: 0 clean (or baseline-only), 1 on any new error-severity
+finding, 2 on a usage error (unknown rule id — including inside a
+suppression directive — bad path, malformed baseline file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.lint import baseline as baseline_mod
+from repro.lint.engine import LintEngine, LintUsageError
+from repro.lint.findings import Severity
+from repro.lint.registry import get_rule, rule_ids
+from repro.lint.report import render_human, render_json
+
+#: Default lint root and target: the package sources.
+_DEFAULT_ROOT = pathlib.Path(__file__).resolve().parents[2]  # .../src
+_DEFAULT_BASELINE = "replint_baseline.json"
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Entry point called from :func:`repro.cli.main`."""
+    root = _DEFAULT_ROOT
+    if args.path:
+        paths = [pathlib.Path(p) for p in args.path]
+    else:
+        paths = [root / "repro"]
+
+    try:
+        rules = None
+        if args.rules:
+            wanted = [part.strip() for part in args.rules.split(",") if part.strip()]
+            rules = [get_rule(rule_id) for rule_id in wanted]
+    except KeyError as exc:
+        print(
+            f"lint: unknown rule {exc.args[0]!r}; known: {', '.join(rule_ids())}",
+            file=sys.stderr,
+        )
+        return 2
+
+    baseline_path = pathlib.Path(args.baseline or _DEFAULT_BASELINE)
+    engine = LintEngine(root, rules=rules)
+    try:
+        findings, stats = engine.lint(paths)
+    except (LintUsageError, SyntaxError) as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+
+    unknown = stats["unknown_suppressions"]
+    if unknown:
+        for problem in unknown:  # type: ignore[union-attr]
+            print(f"lint: {problem}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        count = baseline_mod.save(baseline_path, findings)
+        print(
+            f"lint: baselined {len(findings)} finding(s) "
+            f"({count} distinct entries) into {baseline_path}"
+        )
+        return 0
+
+    try:
+        known = baseline_mod.load(baseline_path)
+    except baseline_mod.BaselineError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    new, grandfathered = baseline_mod.partition(findings, known)
+
+    report = (
+        render_json(new, grandfathered, stats)
+        if args.json
+        else render_human(new, grandfathered, stats)
+    )
+    if args.out:
+        pathlib.Path(args.out).write_text(report + "\n", encoding="utf-8")
+        print(f"lint: wrote report to {args.out}")
+    else:
+        print(report)
+
+    has_new_errors = any(f.severity is Severity.ERROR for f in new)
+    if has_new_errors:
+        n_errors = sum(1 for f in new if f.severity is Severity.ERROR)
+        print(
+            f"lint: {n_errors} new error finding(s)  << VIOLATION",
+            file=sys.stderr,
+        )
+        return 1
+    return 0

@@ -1,0 +1,60 @@
+"""Human-readable and JSON renderings of a lint run."""
+
+from __future__ import annotations
+
+import collections
+import json
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import all_rules
+
+
+def render_human(
+    new: list[Finding],
+    baselined: list[Finding],
+    stats: dict[str, object],
+) -> str:
+    """The terminal report: findings, then a one-paragraph summary."""
+    lines: list[str] = []
+    for finding in new:
+        lines.append(finding.render())
+    if new:
+        lines.append("")
+    by_rule = collections.Counter(f.rule for f in new)
+    rule_part = ", ".join(f"{rule}×{count}" for rule, count in sorted(by_rule.items()))
+    errors = sum(1 for f in new if f.severity is Severity.ERROR)
+    advice = len(new) - errors
+    lines.append(
+        f"replint: {stats['files']} files, {errors} error(s), "
+        f"{advice} advisory, {len(baselined)} baselined, "
+        f"{stats['suppressed']} suppressed"
+        + (f"  [{rule_part}]" if rule_part else "")
+    )
+    return "\n".join(lines)
+
+
+def render_json(
+    new: list[Finding],
+    baselined: list[Finding],
+    stats: dict[str, object],
+) -> str:
+    """The ``--json`` report (schema documented in STATIC_ANALYSIS.md).
+
+    ``findings`` holds only non-baselined findings — the ones that
+    drive the exit code; grandfathered ones appear as a count, keeping
+    CI output focused on what a PR introduced.
+    """
+    errors = sum(1 for f in new if f.severity is Severity.ERROR)
+    payload = {
+        "version": 1,
+        "rules": {rule.id: rule.title for rule in all_rules()},
+        "counts": {
+            "files": stats["files"],
+            "errors": errors,
+            "advice": len(new) - errors,
+            "baselined": len(baselined),
+            "suppressed": stats["suppressed"],
+        },
+        "findings": [finding.to_json() for finding in new],
+    }
+    return json.dumps(payload, indent=2)

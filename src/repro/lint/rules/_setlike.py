@@ -1,0 +1,196 @@
+"""Lightweight set-likeness inference shared by REP002.
+
+Purely syntactic + local-flow: an expression is *set-like* when it is a
+set display/comprehension, a ``set()``/``frozenset()`` call, a set
+operator over set-like operands, a set-producing method call on a
+set-like receiver, or a name/attribute whose every visible binding in
+the enclosing scope is set-like (assignments in textual order, ``set``
+annotations on variables, parameters, and ``self.*`` attributes).
+
+This is deliberately conservative in both directions: a name assigned
+both set-like and non-set-like values is treated as *not* set-like (no
+false positives from ambiguous flow), and values smuggled through
+containers or returned from helpers are invisible (acceptable misses —
+the dynamic auditor still covers the runtime behaviour).
+"""
+
+from __future__ import annotations
+
+import ast
+
+#: Methods on a set that yield another set.
+SET_PRODUCING_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+
+#: Builtins whose result does not depend on argument iteration order.
+ORDER_INSENSITIVE_CALLS = frozenset(
+    {"sorted", "set", "frozenset", "sum", "min", "max", "any", "all", "len"}
+)
+
+#: Set method names whose *argument* order does not matter either.
+ORDER_INSENSITIVE_METHODS = frozenset(
+    {
+        "update",
+        "union",
+        "intersection",
+        "difference",
+        "symmetric_difference",
+        "intersection_update",
+        "difference_update",
+        "symmetric_difference_update",
+        "issubset",
+        "issuperset",
+        "isdisjoint",
+    }
+)
+
+_TYPING_SET_NAMES = frozenset({"Set", "FrozenSet", "AbstractSet", "MutableSet"})
+
+
+def annotation_is_set(node: ast.expr | None) -> bool:
+    """Whether a type annotation denotes a set/frozenset."""
+    if node is None:
+        return False
+    if isinstance(node, ast.Name):
+        return node.id in {"set", "frozenset"} or node.id in _TYPING_SET_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in _TYPING_SET_NAMES
+    if isinstance(node, ast.Subscript):
+        return annotation_is_set(node.value)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        # Optional[set[...]] spelled as ``set[X] | None``: iterating it
+        # (after a None check) is still hash-ordered.
+        return annotation_is_set(node.left) or annotation_is_set(node.right)
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        text = node.value.strip()
+        return text.startswith(("set[", "frozenset[", "set ", "frozenset "))
+    return False
+
+
+class Env:
+    """Name → set-likeness for one analysis scope."""
+
+    def __init__(self, attrs: dict[str, bool] | None = None) -> None:
+        #: Local variable / parameter states. True = set-like,
+        #: False = known non-set-like (or ambiguous).
+        self.names: dict[str, bool] = {}
+        #: ``self.<attr>`` states, shared across a class's methods.
+        self.attrs: dict[str, bool] = attrs if attrs is not None else {}
+
+    def lookup(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Name):
+            return self.names.get(node.id, False)
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return self.attrs.get(node.attr, False)
+        return False
+
+
+def expr_is_setlike(node: ast.expr, env: Env) -> bool:
+    """Whether ``node`` evaluates to a set, as far as local flow shows."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in {"set", "frozenset"}:
+            return True
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in SET_PRODUCING_METHODS
+            and expr_is_setlike(func.value, env)
+        ):
+            return True
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return expr_is_setlike(node.left, env) or expr_is_setlike(node.right, env)
+    if isinstance(node, ast.IfExp):
+        return expr_is_setlike(node.body, env) or expr_is_setlike(node.orelse, env)
+    if isinstance(node, ast.NamedExpr):
+        return expr_is_setlike(node.value, env)
+    return env.lookup(node)
+
+
+def _record(state: dict[str, bool], key: str, setlike: bool) -> None:
+    # A name is set-like only if every binding seen so far agrees.
+    if key in state and state[key] != setlike:
+        state[key] = False
+    else:
+        state[key] = setlike
+
+
+def scan_scope_statements(
+    statements: list[ast.stmt], env: Env, *, into_attrs: bool = False
+) -> None:
+    """Populate ``env`` from assignments in one scope, textual order.
+
+    Does not descend into nested function/class definitions (separate
+    scopes). With ``into_attrs`` the target map is ``env.attrs``
+    (used when pre-scanning a class's methods for ``self.*`` state).
+    """
+    for stmt in statements:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(node, ast.Assign):
+                setlike = expr_is_setlike(node.value, env)
+                for target in node.targets:
+                    _record_target(env, target, setlike, into_attrs)
+            elif isinstance(node, ast.AnnAssign):
+                setlike = annotation_is_set(node.annotation) or (
+                    node.value is not None and expr_is_setlike(node.value, env)
+                )
+                _record_target(env, node.target, setlike, into_attrs)
+
+
+def _record_target(
+    env: Env, target: ast.expr, setlike: bool, into_attrs: bool
+) -> None:
+    if isinstance(target, ast.Name) and not into_attrs:
+        _record(env.names, target.id, setlike)
+    elif (
+        isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "self"
+    ):
+        _record(env.attrs, target.attr, setlike)
+
+
+def env_for_function(
+    func: ast.FunctionDef | ast.AsyncFunctionDef, attrs: dict[str, bool]
+) -> Env:
+    """Build the analysis environment for one function body."""
+    env = Env(attrs=attrs)
+    args = func.args
+    for arg in [
+        *args.posonlyargs,
+        *args.args,
+        *args.kwonlyargs,
+        *( [args.vararg] if args.vararg else [] ),
+        *( [args.kwarg] if args.kwarg else [] ),
+    ]:
+        if annotation_is_set(arg.annotation):
+            env.names[arg.arg] = True
+    scan_scope_statements(func.body, env)
+    return env
+
+
+def class_attr_env(cls: ast.ClassDef) -> dict[str, bool]:
+    """``self.<attr>`` set-likeness aggregated over all of a class's methods."""
+    env = Env(attrs={})
+    for stmt in cls.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            method_env = Env(attrs=env.attrs)
+            # Parameters participate so ``self._x = some_set_param`` works.
+            for arg in stmt.args.args:
+                if annotation_is_set(arg.annotation):
+                    method_env.names[arg.arg] = True
+            scan_scope_statements(stmt.body, method_env)
+    return env.attrs

@@ -1,0 +1,127 @@
+"""REP002 — order-sensitive iteration over unordered sets.
+
+String and object hashes vary across interpreter runs (hash
+randomization, allocation addresses), so iterating a ``set`` in code
+that schedules kernel events, sends messages, or builds durable state
+produces run-to-run nondeterminism — the exact failure class the
+``repro.wal.determinism`` gate exists to catch, except it only catches
+the paths a given seed happens to execute. Statically: any set-like
+expression consumed in an order-sensitive position (a ``for`` loop, a
+list/generator comprehension, ``list()``/``tuple()``/``enumerate()``/
+``zip()``/``.join()``) is flagged unless the consumer is itself
+order-insensitive (``sorted``, ``set``, ``sum``, ``any``, …).
+
+Fix by iterating ``sorted(s)``, or keep an insertion-ordered
+dict-as-set (``dict[T, None]``) when sort order is wrong or too costly.
+Set/dict comprehensions are exempt (their results are unordered/keyed);
+the rare order-sensitive accumulation inside one still needs a manual
+eye — the dynamic determinism gate backstops that gap.
+"""
+
+from __future__ import annotations
+
+import ast
+import typing
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+from repro.lint.rules import _setlike
+from repro.lint.rules._scopes import SIM_TIME
+
+_ORDERED_WRAPPERS = frozenset({"list", "tuple", "enumerate", "zip"})
+
+
+@register
+class UnorderedIterationRule(Rule):
+    id = "REP002"
+    title = "order-sensitive iteration over an unordered set"
+    scope = SIM_TIME
+
+    def check(self, ctx: FileContext) -> typing.Iterator[Finding]:
+        # Module top level.
+        module_env = _setlike.Env(attrs={})
+        _setlike.scan_scope_statements(ctx.tree.body, module_env)
+        yield from self._check_scope(ctx, ctx.tree, module_env)
+        # Functions and methods, each with its own environment; methods
+        # share the class-wide ``self.*`` attribute map.
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                attrs = _setlike.class_attr_env(node)
+                for stmt in node.body:
+                    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        env = _setlike.env_for_function(stmt, attrs)
+                        yield from self._check_scope(ctx, stmt, env)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                parent = ctx.parent(node)
+                if isinstance(parent, ast.ClassDef):
+                    continue  # handled above with the class attr map
+                env = _setlike.env_for_function(node, {})
+                yield from self._check_scope(ctx, node, env)
+
+    # -- one scope ----------------------------------------------------------
+
+    def _check_scope(
+        self, ctx: FileContext, scope: ast.AST, env: _setlike.Env
+    ) -> typing.Iterator[Finding]:
+        for node in self._walk_scope(scope):
+            if isinstance(node, ast.For):
+                if self._is_setlike(node.iter, env):
+                    yield self._flag(ctx, node.iter, "for-loop")
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+                if self._consumer_is_order_insensitive(ctx, node):
+                    continue
+                for comp in node.generators:
+                    if self._is_setlike(comp.iter, env):
+                        yield self._flag(ctx, comp.iter, "comprehension")
+            elif isinstance(node, ast.Call):
+                func = node.func
+                wrapper = None
+                if isinstance(func, ast.Name) and func.id in _ORDERED_WRAPPERS:
+                    wrapper = func.id
+                elif isinstance(func, ast.Attribute) and func.attr == "join":
+                    wrapper = "join"
+                if wrapper is None or self._consumer_is_order_insensitive(ctx, node):
+                    continue
+                for arg in node.args:
+                    if self._is_setlike(arg, env):
+                        yield self._flag(ctx, arg, f"{wrapper}()")
+
+    def _walk_scope(self, scope: ast.AST) -> typing.Iterator[ast.AST]:
+        """Walk a scope without crossing into nested function/class defs."""
+        body = scope.body if hasattr(scope, "body") else []
+        stack = list(body)
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _is_setlike(self, node: ast.expr, env: _setlike.Env) -> bool:
+        return _setlike.expr_is_setlike(node, env)
+
+    def _consumer_is_order_insensitive(
+        self, ctx: FileContext, node: ast.AST
+    ) -> bool:
+        """True when the value feeds sorted()/set()/… directly."""
+        parent = ctx.parent(node)
+        if not isinstance(parent, ast.Call) or node is parent.func:
+            return False
+        func = parent.func
+        if isinstance(func, ast.Name):
+            return func.id in _setlike.ORDER_INSENSITIVE_CALLS
+        if isinstance(func, ast.Attribute):
+            return func.attr in _setlike.ORDER_INSENSITIVE_METHODS
+        return False
+
+    def _flag(self, ctx: FileContext, node: ast.expr, where: str) -> Finding:
+        return self.finding(
+            ctx,
+            node,
+            f"set iterated in order-sensitive {where}: iteration order "
+            "varies across runs; wrap in sorted(...) or use an "
+            "insertion-ordered dict-as-set",
+        )

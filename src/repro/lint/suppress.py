@@ -1,0 +1,84 @@
+"""Per-line and per-file suppression comments.
+
+Two forms, mirroring the usual linter conventions:
+
+* ``# replint: disable=REP001`` (or ``=REP001,REP004``) at the end of a
+  line suppresses those rules on **that line only**. For a multi-line
+  statement, put the comment on the line the finding is reported at
+  (the first line of the offending expression).
+* ``# replint: disable-file=REP003`` on a line of its own in the file
+  header — before the first statement after the module docstring (or
+  within the first 20 lines, whichever reaches further) — suppresses
+  the rules for the whole file: the escape hatch for declared
+  exceptions (e.g. a module that *is* the sanctioned implementation of
+  an invariant). Keeping it in the header keeps waivers greppable and
+  next to the docstring that should justify them.
+
+Unknown rule ids inside a directive are reported by the engine as a
+usage problem rather than silently ignored, so typos cannot quietly
+disable nothing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+
+_LINE = re.compile(r"#\s*replint:\s*disable=([A-Z0-9,\s]+?)\s*(?:#|$)")
+_FILE = re.compile(r"#\s*replint:\s*disable-file=([A-Z0-9,\s]+?)\s*(?:#|$)")
+
+#: File-level directives must appear in this many leading lines (the
+#: engine extends the window past a long module docstring).
+_FILE_DIRECTIVE_WINDOW = 20
+
+
+@dataclasses.dataclass
+class Suppressions:
+    """Parsed suppression directives of one file."""
+
+    by_line: dict[int, frozenset[str]]
+    file_wide: frozenset[str]
+    #: Rule ids referenced by directives (for unknown-id validation).
+    referenced: frozenset[str]
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """Whether ``rule_id`` is disabled at ``line``."""
+        if rule_id in self.file_wide:
+            return True
+        return rule_id in self.by_line.get(line, ())
+
+
+def _split_ids(raw: str) -> list[str]:
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def scan(lines: list[str], header_end: int = 0) -> Suppressions:
+    """Extract suppression directives from raw source lines.
+
+    ``header_end`` is the last line still counting as the file header
+    (the engine passes the first code statement's line, so a directive
+    right under a long module docstring is honoured).
+    """
+    by_line: dict[int, frozenset[str]] = {}
+    file_wide: set[str] = set()
+    referenced: set[str] = set()
+    window = max(_FILE_DIRECTIVE_WINDOW, header_end)
+    for lineno, text in enumerate(lines, start=1):
+        if "replint" not in text:
+            continue
+        match = _FILE.search(text)
+        if match and lineno <= window:
+            ids = _split_ids(match.group(1))
+            file_wide.update(ids)
+            referenced.update(ids)
+            continue
+        match = _LINE.search(text)
+        if match:
+            ids = _split_ids(match.group(1))
+            by_line[lineno] = frozenset(ids)
+            referenced.update(ids)
+    return Suppressions(
+        by_line=by_line,
+        file_wide=frozenset(file_wide),
+        referenced=frozenset(referenced),
+    )

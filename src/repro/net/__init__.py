@@ -32,4 +32,5 @@ __all__ = [
     "NetworkStats",
     "RemoteError",
     "RpcNode",
+    "UniformLatency",
 ]

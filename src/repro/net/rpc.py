@@ -64,7 +64,10 @@ class RpcNode:
         #: dead ``_pending`` entry.
         self._pending: dict[int, tuple[Future, Callback | None]] = {}
         self._dispatcher: Process | None = None
-        self._servers: set[Process] = set()
+        # Insertion-ordered dict-as-set: a plain set would interrupt the
+        # servers in id-hash order on stop(), which varies across
+        # interpreter runs (REP002).
+        self._servers: dict[Process, None] = {}
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -211,9 +214,9 @@ class RpcNode:
         server = self.kernel.process(
             self._serve(handler, msg), name=f"rpc-serve[{self.site_id}]:{msg.kind}"
         )
-        self._servers.add(server)
+        self._servers[server] = None
         server.defuse()
-        server.add_callback(lambda _ev: self._servers.discard(server))
+        server.add_callback(lambda _ev: self._servers.pop(server, None))
         # Serve-side span: opened here (not inside the handler) because
         # handlers may be generators whose bodies run later; the span is
         # closed when the serving process dies, whatever the outcome.

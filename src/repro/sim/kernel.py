@@ -28,7 +28,9 @@ class Callback:
 
     __slots__ = ("fn", "args", "_flags")
 
-    def __init__(self, fn: typing.Callable[..., None], args: tuple) -> None:
+    def __init__(
+        self, fn: typing.Callable[..., None], args: tuple[object, ...]
+    ) -> None:
         self.fn = fn
         self.args = args
         self._flags = 0
@@ -63,6 +65,8 @@ class Kernel:
         Master seed for the :class:`~repro.sim.rng.RngRegistry` exposed as
         :attr:`rng`.
     """
+
+    __slots__ = ("_now", "_heap", "_seq", "rng", "_unhandled", "events_processed")
 
     def __init__(self, seed: int = 0) -> None:
         self._now = 0.0
@@ -121,7 +125,9 @@ class Kernel:
         """Create a future that succeeds ``delay`` time units from now."""
         return Timeout(self, delay, value)
 
-    def process(self, generator: typing.Generator, name: str = "") -> Process:
+    def process(
+        self, generator: typing.Generator[Future, object, object], name: str = ""
+    ) -> Process:
         """Start a new simulated process running ``generator``."""
         return Process(self, generator, name=name)
 

@@ -33,7 +33,12 @@ class Process(Future):
 
     __slots__ = ("_generator", "_waiting_on")
 
-    def __init__(self, kernel: "Kernel", generator: typing.Generator, name: str = "") -> None:
+    def __init__(
+        self,
+        kernel: "Kernel",
+        generator: typing.Generator[Future, object, object],
+        name: str = "",
+    ) -> None:
         if not hasattr(generator, "send"):
             raise TypeError(
                 f"Process body must be a generator, got {type(generator).__name__}; "

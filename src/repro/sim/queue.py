@@ -19,11 +19,13 @@ class Queue:
     waiters in FIFO order.
     """
 
+    __slots__ = ("kernel", "name", "_get_name", "_items", "_getters")
+
     def __init__(self, kernel: "Kernel", name: str = "") -> None:
         self.kernel = kernel
         self.name = name
         self._get_name = f"get({name})"  # precomputed: get() is a hot path
-        self._items: collections.deque = collections.deque()
+        self._items: collections.deque[object] = collections.deque()
         self._getters: collections.deque[Future] = collections.deque()
 
     def __len__(self) -> int:

@@ -67,7 +67,10 @@ class Site:
         self.wal: SiteWal | None = (
             SiteWal(self, wal_config) if wal_config.enabled else None
         )
-        self._procs: set[Process] = set()
+        # Insertion-ordered dict-as-set: a plain set would interrupt the
+        # procs in id-hash order on crash(), which varies across
+        # interpreter runs (REP002).
+        self._procs: dict[Process, None] = {}
         # Lifecycle bookkeeping for recovery-latency metrics (E2).
         self.last_crash_time: float | None = None
         self.last_power_on_time: float | None = None
@@ -94,8 +97,8 @@ class Site:
         """
         proc = self.kernel.process(generator, name=f"site{self.site_id}:{name}")
         proc.defuse()
-        self._procs.add(proc)
-        proc.add_callback(lambda _ev: self._procs.discard(proc))
+        self._procs[proc] = None
+        proc.add_callback(lambda _ev: self._procs.pop(proc, None))
         return proc
 
     # -- lifecycle ----------------------------------------------------------------

@@ -25,7 +25,6 @@ import typing
 from repro.errors import (
     NetworkError,
     NotOperational,
-    ReproError,
     TransactionAborted,
     TransactionError,
 )

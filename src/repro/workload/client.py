@@ -104,7 +104,9 @@ class ClientPool:
     def _attempt(self, home: int, program) -> typing.Generator:  # noqa: C901 - state machine
         kernel = self.system.kernel
         for attempt in range(1 + self.retries):
-            site = self.system.cluster.site(home)
+            # The client terminal is colocated with its home site: this is
+            # a local attach to check status + submit, not remote access.
+            site = self.system.cluster.site(home)  # replint: disable=REP003
             if not site.is_operational:
                 return "refused"
             # Submit through the site so a crash interrupts the attempt
@@ -169,7 +171,8 @@ class OpenLoopClient:
             home = self.home_sites[index % len(self.home_sites)]
             index += 1
             self.stats.attempted += 1
-            site = self.system.cluster.site(home)
+            # Local attach at the arrival's home site (same as ClientPool).
+            site = self.system.cluster.site(home)  # replint: disable=REP003
             if not site.is_operational:
                 self.stats.refused += 1
                 continue

@@ -143,7 +143,9 @@ class FailureSchedule:
                 delay = event.time - system.kernel.now
                 if delay > 0:
                     yield system.kernel.timeout(delay)
-                site = system.cluster.site(event.site_id)
+                # The failure injector is the scenario's hand of fate, not
+                # protocol code: it crashes/restarts sites from outside.
+                site = system.cluster.site(event.site_id)  # replint: disable=REP003
                 if event.action == "crash":
                     if site.is_down:
                         continue

@@ -8,9 +8,7 @@ false negatives. The complementary no-false-positives property is
 ``test_sweep.py`` (E1–E9 under the auditor, zero alerts).
 """
 
-import pytest
-
-from repro.audit import AuditConfig, attach_auditor
+from repro.audit import attach_auditor
 from repro.core.config import RowaaConfig
 from repro.core.nominal import ns_item
 from repro.core.rowaa import RowaaStrategy

@@ -4,7 +4,6 @@ import pytest
 
 from repro.baselines import build_directory_system
 from repro.baselines.directories import dir_item
-from repro.errors import TransactionAborted
 from repro.net import ConstantLatency
 from repro.sim import Kernel
 from repro.txn import TxnConfig
@@ -90,7 +89,6 @@ class TestDirectories:
         small = make(kernel, items={"X0": 0, "X1": 0})
         small.crash(3)
         kernel.run(until=60)
-        start = kernel.now
         kernel.run(small.power_on(3))
         small_latency = small.directory_service.records[-1].time_to_operational
 

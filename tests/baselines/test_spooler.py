@@ -103,5 +103,5 @@ class TestSpooler:
             kernel.run(system.submit(1, write_program("X0", value)))
         spooled = system.spools[1].spooled_for(3)
         assert spooled["X0"][0] == 3  # only the newest version kept
-        record = kernel.run(system.power_on(3))
+        kernel.run(system.power_on(3))
         assert system.cluster.site(3).copies.get("X0").value == 3

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import InvalidStateTransition
 from repro.site import SiteStatus
-from tests.core.conftest import build_system, read_program, write_program
+from tests.core.conftest import read_program, write_program
 
 
 def total_failure(kernel, system):

@@ -10,7 +10,6 @@ a live site. These tests pin the corrected behaviour at the unit level.
 from repro.core.control import make_type2_program
 from repro.core.nominal import ns_item
 from repro.txn.transaction import TxnKind
-from tests.core.conftest import build_system
 
 
 class TestClaimBinding:

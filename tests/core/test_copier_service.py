@@ -1,7 +1,5 @@
 """Unit-level tests for CopierService internals."""
 
-import pytest
-
 from repro.core import RowaaConfig
 from tests.core.conftest import build_system, read_program, write_program
 

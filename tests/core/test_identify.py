@@ -67,7 +67,7 @@ class TestFailLocks:
         kernel.run(until=kernel.now + 100)
         assert ("X0", 3) in system.policies[1].entries()
         # Site 3's recovery still learns about X0.
-        record = kernel.run(system.power_on(3))
+        kernel.run(system.power_on(3))
         assert system.cluster.site(3).copies.get("X0").unreadable
 
     def test_conservative_when_resident_down(self):

@@ -22,9 +22,8 @@ import random
 import pytest
 
 from repro.core import RowaaSystem
-from repro.core.nominal import db_item_filter
 from repro.core.partition_merge import PartitionConfig
-from repro.histories import check_one_sr, check_theorem3
+from repro.histories import check_theorem3
 from repro.net import ConstantLatency
 from repro.sim import Kernel
 from repro.txn import TxnConfig

@@ -1,9 +1,5 @@
 """End-to-end tests of the §3.4 recovery procedure."""
 
-import pytest
-
-from repro.core import RowaaConfig
-from repro.errors import TransactionAborted
 from repro.site import SiteStatus
 from tests.core.conftest import build_system, read_program, write_program
 

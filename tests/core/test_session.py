@@ -1,7 +1,5 @@
 """Unit tests for session-number management (§3.1)."""
 
-from tests.core.conftest import build_system
-
 
 class TestBootSessions:
     def test_all_sites_start_in_session_one(self, rig):

@@ -12,7 +12,7 @@ from repro.sim import Kernel
 from repro.storage.copies import Version
 from repro.txn import TxnConfig
 from repro.wal import WalConfig
-from tests.core.conftest import build_system, write_program
+from tests.core.conftest import write_program
 
 
 def build_wal_system(seed=11, wal_config=None, rowaa_config=None, items=None):

@@ -11,11 +11,11 @@ import pathlib
 import subprocess
 import sys
 
-REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
-
 from repro.harness import parallel
 from repro.harness.experiments import e5_identification, e7_control_cost
 from repro.harness.runner import cell_seed
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
 
 E5_PARAMS = dict(
     seed=1,

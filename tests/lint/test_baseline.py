@@ -1,0 +1,86 @@
+"""Baseline mechanics: key stability, partitioning, file round-trip."""
+
+import json
+
+import pytest
+
+from repro.lint import baseline
+from repro.lint.findings import Finding, Severity
+
+
+def make_finding(snippet="x = random.random()", line=10, rule="REP001"):
+    return Finding(
+        rule=rule,
+        severity=Severity.ERROR,
+        path="repro/core/x.py",
+        line=line,
+        col=5,
+        message="m",
+        snippet=snippet,
+    )
+
+
+class TestBaselineKey:
+    def test_key_survives_line_number_churn(self):
+        a = make_finding(line=10)
+        b = make_finding(line=99)
+        assert a.baseline_key == b.baseline_key
+
+    def test_key_changes_when_flagged_line_is_edited(self):
+        a = make_finding(snippet="x = random.random()")
+        b = make_finding(snippet="x = random.random() + 1")
+        assert a.baseline_key != b.baseline_key
+
+    def test_key_ignores_surrounding_whitespace(self):
+        a = make_finding(snippet="x = random.random()")
+        b = make_finding(snippet="    x = random.random()  ")
+        assert a.baseline_key == b.baseline_key
+
+
+class TestPartition:
+    def test_grandfathered_findings_are_split_out(self):
+        old = make_finding()
+        new = make_finding(snippet="y = random.random()")
+        known = {old.baseline_key: 1}
+        fresh, grandfathered = baseline.partition([old, new], known)
+        assert fresh == [new]
+        assert grandfathered == [old]
+
+    def test_count_absorbs_only_that_many_duplicates(self):
+        # Two identical offending lines baselined, a third added later.
+        findings = [make_finding(line=n) for n in (10, 20, 30)]
+        known = {findings[0].baseline_key: 2}
+        fresh, grandfathered = baseline.partition(findings, known)
+        assert len(grandfathered) == 2
+        assert len(fresh) == 1
+
+    def test_empty_baseline_keeps_everything_new(self):
+        finding = make_finding()
+        fresh, grandfathered = baseline.partition([finding], {})
+        assert fresh == [finding]
+        assert grandfathered == []
+
+
+class TestBaselineFile:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        findings = [make_finding(), make_finding(line=99)]
+        count = baseline.save(path, findings)
+        assert count == 1  # identical lines share one entry
+        loaded = baseline.load(path)
+        assert loaded == {findings[0].baseline_key: 2}
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        assert baseline.load(tmp_path / "absent.json") == {}
+
+    def test_malformed_file_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json")
+        with pytest.raises(baseline.BaselineError):
+            baseline.load(path)
+
+    def test_wrong_shape_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 1, "entries": [1, 2]}))
+        with pytest.raises(baseline.BaselineError):
+            baseline.load(path)

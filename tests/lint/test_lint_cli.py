@@ -1,0 +1,126 @@
+"""The ``repro lint`` subcommand: exit codes, --json schema, baseline flow.
+
+Exit-code contract (shared with trace/metrics/audit): 0 clean or
+baseline-only, 1 on new error findings, 2 on usage errors.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.cli import main
+from repro.lint import cli as lint_cli
+from repro.lint.registry import rule_ids
+
+BAD_SOURCE = """\
+import random
+
+def jitter():
+    return random.random()
+"""
+
+CLEAN_SOURCE = """\
+def double(n: int) -> int:
+    return 2 * n
+"""
+
+
+@pytest.fixture
+def sandbox(tmp_path, monkeypatch):
+    """A throwaway lint root with one target file and its own baseline."""
+    monkeypatch.setattr(lint_cli, "_DEFAULT_ROOT", tmp_path)
+    target = tmp_path / "repro" / "core" / "x.py"
+    target.parent.mkdir(parents=True)
+
+    def run(source, *extra):
+        target.write_text(textwrap.dedent(source))
+        argv = [
+            "lint",
+            "--path",
+            str(target),
+            "--baseline",
+            str(tmp_path / "baseline.json"),
+            *extra,
+        ]
+        return main(argv)
+
+    return run
+
+
+class TestExitCodes:
+    def test_clean_run_exits_zero(self, sandbox):
+        assert sandbox(CLEAN_SOURCE) == 0
+
+    def test_new_error_finding_exits_one(self, sandbox):
+        assert sandbox(BAD_SOURCE) == 1
+
+    def test_unknown_rule_exits_two(self, sandbox, capsys):
+        assert sandbox(CLEAN_SOURCE, "--rules", "REP999") == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_unknown_suppression_id_exits_two(self, sandbox, capsys):
+        assert sandbox("a = 1  # replint: disable=NOPE1\n") == 2
+        assert "NOPE1" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        code = main(["lint", "--path", str(tmp_path / "nope.py")])
+        assert code == 2
+
+    def test_path_outside_root_exits_two(self, tmp_path, capsys):
+        # Without the monkeypatched root, tmp files are outside src/.
+        stray = tmp_path / "stray.py"
+        stray.write_text("x = 1\n")
+        assert main(["lint", "--path", str(stray)]) == 2
+        assert "outside the lint root" in capsys.readouterr().err
+
+    def test_rule_filter_limits_what_fires(self, sandbox):
+        # REP005 alone does not see the REP001 violation.
+        assert sandbox(BAD_SOURCE, "--rules", "REP005") == 0
+
+
+class TestBaselineFlow:
+    def test_update_then_lint_is_clean(self, sandbox):
+        assert sandbox(BAD_SOURCE, "--update-baseline") == 0
+        assert sandbox(BAD_SOURCE) == 0  # grandfathered, not clean
+
+    def test_new_violation_on_top_of_baseline_fails(self, sandbox):
+        assert sandbox(BAD_SOURCE, "--update-baseline") == 0
+        grown = BAD_SOURCE + "\ntoken = random.getrandbits(32)\n"
+        assert sandbox(grown) == 1
+
+    def test_malformed_baseline_exits_two(self, sandbox, tmp_path, capsys):
+        (tmp_path / "baseline.json").write_text("{broken")
+        assert sandbox(CLEAN_SOURCE) == 2
+        assert "malformed baseline" in capsys.readouterr().err
+
+
+class TestJsonReport:
+    def test_schema_and_counts(self, sandbox, capsys):
+        assert sandbox(BAD_SOURCE, "--json") == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert set(payload["rules"]) == set(rule_ids())
+        assert payload["counts"]["files"] == 1
+        assert payload["counts"]["errors"] == 1
+        assert payload["counts"]["advice"] == 0
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "REP001"
+        assert finding["severity"] == "error"
+        assert finding["path"] == "repro/core/x.py"
+        assert finding["line"] == 4
+        assert {"col", "message", "snippet"} <= set(finding)
+
+    def test_out_writes_report_file(self, sandbox, tmp_path):
+        report = tmp_path / "lint.json"
+        assert sandbox(BAD_SOURCE, "--json", "--out", str(report)) == 1
+        payload = json.loads(report.read_text())
+        assert payload["counts"]["errors"] == 1
+
+    def test_baselined_findings_counted_not_listed(self, sandbox, capsys):
+        sandbox(BAD_SOURCE, "--update-baseline")
+        capsys.readouterr()
+        assert sandbox(BAD_SOURCE, "--json") == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["baselined"] == 1
+        assert payload["findings"] == []

@@ -1,0 +1,443 @@
+"""Directed true-positive / clean-code tests for every replint rule.
+
+Each rule gets at least one test that plants the violation and asserts
+it is caught, and one that runs the rule over idiomatic clean code and
+asserts silence — so a rule can neither rot into a no-op nor start
+flagging the sanctioned patterns.
+"""
+
+from repro.lint.findings import Severity
+
+
+def rules_of(result):
+    return [f.rule for f in result.findings]
+
+
+class TestRep001Nondeterminism:
+    def test_module_level_random_flagged(self, lint):
+        result = lint(
+            "repro/core/x.py",
+            """
+            import random
+
+            def jitter():
+                return random.random()
+            """,
+            rules=["REP001"],
+        )
+        assert rules_of(result) == ["REP001"]
+
+    def test_from_random_import_flagged(self, lint):
+        result = lint(
+            "repro/workload/x.py",
+            "from random import choice\n",
+            rules=["REP001"],
+        )
+        assert rules_of(result) == ["REP001"]
+
+    def test_seeded_random_class_allowed(self, lint):
+        result = lint(
+            "repro/workload/x.py",
+            """
+            from random import Random
+
+            def make_stream(seed):
+                return Random(seed)
+            """,
+            rules=["REP001"],
+        )
+        assert result.findings == []
+
+    def test_wall_clock_in_sim_time_flagged(self, lint):
+        result = lint(
+            "repro/core/x.py",
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            rules=["REP001"],
+        )
+        assert rules_of(result) == ["REP001"]
+
+    def test_from_time_import_flagged_at_import_and_call(self, lint):
+        result = lint(
+            "repro/wal/x.py",
+            """
+            from time import monotonic
+
+            def stamp():
+                return monotonic()
+            """,
+            rules=["REP001"],
+        )
+        assert rules_of(result) == ["REP001", "REP001"]
+
+    def test_wall_clock_outside_sim_time_allowed(self, lint):
+        # The harness legitimately measures wall time (e.g. run duration).
+        result = lint(
+            "repro/harness/x.py",
+            """
+            import time
+
+            def wall():
+                return time.perf_counter()
+            """,
+            rules=["REP001"],
+        )
+        assert result.findings == []
+
+    def test_uuid4_flagged_everywhere(self, lint):
+        result = lint(
+            "repro/harness/x.py",
+            """
+            import uuid
+
+            def run_id():
+                return uuid.uuid4()
+            """,
+            rules=["REP001"],
+        )
+        assert rules_of(result) == ["REP001"]
+
+    def test_os_urandom_flagged(self, lint):
+        result = lint(
+            "repro/core/x.py",
+            "import os\ntoken = os.urandom(8)\n",
+            rules=["REP001"],
+        )
+        assert rules_of(result) == ["REP001"]
+
+    def test_datetime_now_in_sim_time_flagged(self, lint):
+        result = lint(
+            "repro/site/x.py",
+            """
+            import datetime
+
+            def stamp():
+                return datetime.datetime.now()
+            """,
+            rules=["REP001"],
+        )
+        assert rules_of(result) == ["REP001"]
+
+    def test_rng_registry_module_is_exempt(self, lint):
+        # The registry is the sanctioned wrapper around random.Random.
+        result = lint(
+            "repro/sim/rng.py",
+            "import random\n_seeded = random.Random(0)\n",
+            rules=["REP001"],
+        )
+        assert result.findings == []
+
+
+class TestRep002UnorderedIteration:
+    def test_for_loop_over_set_flagged(self, lint):
+        result = lint(
+            "repro/core/x.py",
+            """
+            def drain(pending):
+                items = {"X0", "X1"}
+                for item in items:
+                    pending.append(item)
+            """,
+            rules=["REP002"],
+        )
+        assert rules_of(result) == ["REP002"]
+
+    def test_set_annotation_on_parameter_flagged(self, lint):
+        result = lint(
+            "repro/txn/x.py",
+            """
+            def order(items: set[str]) -> list[str]:
+                return [item for item in items]
+            """,
+            rules=["REP002"],
+        )
+        assert rules_of(result) == ["REP002"]
+
+    def test_list_wrapper_and_join_flagged(self, lint):
+        result = lint(
+            "repro/core/x.py",
+            """
+            def render(names: set[str]) -> str:
+                ordered = list(names)
+                return ",".join(names)
+            """,
+            rules=["REP002"],
+        )
+        assert rules_of(result) == ["REP002", "REP002"]
+
+    def test_sorted_iteration_allowed(self, lint):
+        result = lint(
+            "repro/core/x.py",
+            """
+            def drain(items: set[str]):
+                for item in sorted(items):
+                    yield item
+            """,
+            rules=["REP002"],
+        )
+        assert result.findings == []
+
+    def test_order_insensitive_consumers_allowed(self, lint):
+        result = lint(
+            "repro/core/x.py",
+            """
+            def summarize(items: set[str]):
+                total = sum(len(item) for item in items)
+                biggest = max(items, default="")
+                return total, biggest
+            """,
+            rules=["REP002"],
+        )
+        assert result.findings == []
+
+    def test_list_iteration_allowed(self, lint):
+        result = lint(
+            "repro/core/x.py",
+            """
+            def drain(items: list[str]):
+                for item in items:
+                    yield item
+            """,
+            rules=["REP002"],
+        )
+        assert result.findings == []
+
+    def test_insertion_ordered_dict_as_set_allowed(self, lint):
+        # The sanctioned fix when sorting is wrong or too costly.
+        result = lint(
+            "repro/core/x.py",
+            """
+            def drain(items: dict[str, None]):
+                for item in items:
+                    yield item
+            """,
+            rules=["REP002"],
+        )
+        assert result.findings == []
+
+    def test_self_attribute_set_tracked_across_methods(self, lint):
+        result = lint(
+            "repro/core/x.py",
+            """
+            class Tracker:
+                def __init__(self):
+                    self.stale = set()
+
+                def drain(self):
+                    return [item for item in self.stale]
+            """,
+            rules=["REP002"],
+        )
+        assert rules_of(result) == ["REP002"]
+
+    def test_out_of_scope_file_ignored(self, lint):
+        result = lint(
+            "repro/harness/x.py",
+            "for item in {1, 2, 3}:\n    print(item)\n",
+            rules=["REP002"],
+        )
+        assert result.findings == []
+
+
+class TestRep003CrossSiteReachThrough:
+    def test_cluster_site_call_flagged(self, lint):
+        result = lint(
+            "repro/core/x.py",
+            """
+            def peek(self, cluster, site_id):
+                peer = cluster.site(site_id)
+                return peer.copies.get("X0")
+            """,
+            rules=["REP003"],
+        )
+        assert rules_of(result) == ["REP003"]
+
+    def test_sites_map_access_flagged(self, lint):
+        result = lint(
+            "repro/txn/x.py",
+            """
+            def snoop(self):
+                return self.system.cluster.sites
+            """,
+            rules=["REP003"],
+        )
+        assert rules_of(result) == ["REP003"]
+
+    def test_rpc_and_status_reads_allowed(self, lint):
+        result = lint(
+            "repro/core/x.py",
+            """
+            def probe(self, cluster, net, site_id):
+                up = cluster.detector(self.site_id).believes_up(site_id)
+                if up:
+                    yield net.call(site_id, "ping", {})
+                return cluster.site_ids
+            """,
+            rules=["REP003"],
+        )
+        assert result.findings == []
+
+    def test_system_driver_module_is_exempt(self, lint):
+        result = lint(
+            "repro/core/system.py",
+            """
+            def crash(self, site_id):
+                self.cluster.site(site_id).crash()
+            """,
+            rules=["REP003"],
+        )
+        assert result.findings == []
+
+    def test_out_of_scope_layer_ignored(self, lint):
+        # The site/cluster layer itself owns the map by definition.
+        result = lint(
+            "repro/site/x.py",
+            "def all_sites(cluster):\n    return cluster.sites\n",
+            rules=["REP003"],
+        )
+        assert result.findings == []
+
+
+class TestRep004DurabilityBypass:
+    def test_bare_open_flagged(self, lint):
+        result = lint(
+            "repro/wal/x.py",
+            """
+            def persist(path, data):
+                with open(path, "w") as fh:
+                    fh.write(data)
+            """,
+            rules=["REP004"],
+        )
+        assert rules_of(result) == ["REP004"]
+
+    def test_os_mutators_and_shutil_flagged(self, lint):
+        result = lint(
+            "repro/storage/x.py",
+            """
+            import os
+            import shutil
+
+            def wipe(path):
+                os.remove(path)
+                shutil.rmtree(path)
+            """,
+            rules=["REP004"],
+        )
+        assert rules_of(result) == ["REP004", "REP004"]
+
+    def test_write_text_flagged(self, lint):
+        result = lint(
+            "repro/core/x.py",
+            "def dump(path, data):\n    path.write_text(data)\n",
+            rules=["REP004"],
+        )
+        assert rules_of(result) == ["REP004"]
+
+    def test_os_path_and_environ_allowed(self, lint):
+        result = lint(
+            "repro/wal/x.py",
+            """
+            import os
+
+            def name(base, suffix):
+                flag = os.environ.get("REPRO_DEBUG")
+                return os.path.join(base, suffix), flag
+            """,
+            rules=["REP004"],
+        )
+        assert result.findings == []
+
+    def test_harness_artifact_writes_allowed(self, lint):
+        # The harness sits outside the simulated machines.
+        result = lint(
+            "repro/harness/x.py",
+            "def dump(path, data):\n    path.write_text(data)\n",
+            rules=["REP004"],
+        )
+        assert result.findings == []
+
+
+class TestRep005FloatEquality:
+    def test_float_literal_equality_flagged(self, lint):
+        result = lint(
+            "repro/core/x.py",
+            "def decide(t):\n    return t == 1.5\n",
+            rules=["REP005"],
+        )
+        assert rules_of(result) == ["REP005"]
+
+    def test_division_and_float_call_flagged(self, lint):
+        result = lint(
+            "repro/txn/x.py",
+            """
+            def check(a, b, c, raw):
+                if a / b != c:
+                    return False
+                return float(raw) == c
+            """,
+            rules=["REP005"],
+        )
+        assert rules_of(result) == ["REP005", "REP005"]
+
+    def test_ordering_and_int_comparisons_allowed(self, lint):
+        result = lint(
+            "repro/core/x.py",
+            """
+            def decide(t, deadline, count):
+                if t <= deadline + 0.5:
+                    return True
+                return count == 3
+            """,
+            rules=["REP005"],
+        )
+        assert result.findings == []
+
+    def test_out_of_scope_layer_ignored(self, lint):
+        result = lint(
+            "repro/harness/x.py",
+            "def close_enough(x):\n    return x == 0.1\n",
+            rules=["REP005"],
+        )
+        assert result.findings == []
+
+
+class TestRep006MissingSlots:
+    def test_hot_path_class_without_slots_advised(self, lint):
+        result = lint(
+            "repro/sim/events.py",
+            """
+            class Shiny:
+                def __init__(self):
+                    self.value = None
+            """,
+            rules=["REP006"],
+        )
+        assert rules_of(result) == ["REP006"]
+        assert result.findings[0].severity is Severity.ADVICE
+
+    def test_slotted_class_allowed(self, lint):
+        result = lint(
+            "repro/sim/kernel.py",
+            """
+            class Lean:
+                __slots__ = ("value",)
+
+                def __init__(self):
+                    self.value = None
+            """,
+            rules=["REP006"],
+        )
+        assert result.findings == []
+
+    def test_non_hot_path_module_ignored(self, lint):
+        result = lint(
+            "repro/sim/rng.py",
+            "class Roomy:\n    pass\n",
+            rules=["REP006"],
+        )
+        assert result.findings == []

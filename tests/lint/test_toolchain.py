@@ -1,0 +1,77 @@
+"""Config-sanity checks for the CI-installed tools (ruff, mypy).
+
+The offline dev container does not ship either tool, so these tests
+exercise them when available and skip otherwise — CI installs both in
+the static-analysis job, where the skips disappear.
+The toml-level assertions always run: they pin the config shape the CI
+job depends on, so a pyproject refactor cannot silently drop the gate.
+"""
+
+import pathlib
+import shutil
+import subprocess
+import sys
+import tomllib
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def _pyproject():
+    return tomllib.loads((REPO_ROOT / "pyproject.toml").read_text())
+
+
+class TestConfigShape:
+    def test_ruff_selects_the_hygiene_layer(self):
+        select = _pyproject()["tool"]["ruff"]["lint"]["select"]
+        assert {"E", "F", "W"} <= set(select)
+
+    def test_mypy_covers_the_typed_core(self):
+        mypy = _pyproject()["tool"]["mypy"]
+        assert "src/repro/sim" in mypy["files"]
+        assert "src/repro/txn/payloads.py" in mypy["files"]
+        assert "src/repro/net/messages.py" in mypy["files"]
+        assert "src/repro/wal/records.py" in mypy["files"]
+        assert mypy["disallow_untyped_defs"] is True
+        assert mypy["strict_equality"] is True
+
+
+def _has_module(name):
+    return (
+        subprocess.run(
+            [sys.executable, "-c", f"import {name}"],
+            capture_output=True,
+        ).returncode
+        == 0
+    )
+
+
+@pytest.mark.skipif(
+    not (_has_module("ruff") or shutil.which("ruff")),
+    reason="ruff not installed (CI-only tool)",
+)
+def test_ruff_clean():
+    cmd = (
+        [sys.executable, "-m", "ruff"] if _has_module("ruff") else ["ruff"]
+    )
+    proc = subprocess.run(
+        [*cmd, "check", "src", "tests"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+@pytest.mark.skipif(
+    not _has_module("mypy"), reason="mypy not installed (CI-only tool)"
+)
+def test_mypy_typed_core_clean():
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

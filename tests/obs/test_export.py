@@ -51,7 +51,7 @@ class TestJsonl:
         path = tmp_path / "stream.jsonl"
         export_jsonl(obs, str(path))
         lines = [json.loads(line) for line in path.read_text().splitlines()]
-        record = next(l for l in lines if l.get("name") == "dangling")
+        record = next(rec for rec in lines if rec.get("name") == "dangling")
         assert record["open"] is True
         assert record["end"] == kernel.now
 

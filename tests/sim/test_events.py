@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimError, UnhandledFailure
-from repro.sim import AllOf, AnyOf, Future, Kernel
+from repro.sim import AllOf, AnyOf, Kernel
 
 
 @pytest.fixture

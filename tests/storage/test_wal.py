@@ -1,7 +1,5 @@
 """Unit tests for the durability subsystem: RedoLog, SiteWal, StableStorage."""
 
-import pytest
-
 from repro.net import ConstantLatency, Network
 from repro.sim import Kernel
 from repro.site import Site

@@ -138,7 +138,8 @@ class TestAtomicityAndIsolation:
 
             return program
 
-        procs = [system.submit(site, transfer(10 * site)) for site in (1, 2, 3)]
+        for site in (1, 2, 3):
+            system.submit(site, transfer(10 * site))
         system.stop()
         kernel.run()
         x = system.cluster.site(2).copies.get("X").value

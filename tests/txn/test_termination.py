@@ -13,7 +13,7 @@ from repro.errors import TransactionAborted
 from repro.net import ConstantLatency
 from repro.sim import Kernel
 from repro.system import DatabaseSystem
-from repro.txn import TxnConfig, LockMode
+from repro.txn import TxnConfig
 
 
 def make_system(kernel, decision_timeout=60.0):
