@@ -32,14 +32,24 @@ a simulation runs:
    auditor fingerprints the state reconstructible from checkpoint + log
    (its own ~30-line mirror of ``SiteWal.restore``), and at power-on
    the restored copies/session must hash identically
-   (``wal.replay_fingerprint``).
+   (``wal.replay_fingerprint``);
+6. **quorum commit soundness** (``commit_mode="async_quorum"``) — a
+   committed async transaction whose durably prepared write sites fall
+   short of the per-item majority rule fires ``quorum.majority``; a
+   drain that gives up on a write site which *never crashed* since the
+   decision fires ``quorum.drain_uncovered`` — the give-up path is only
+   sound when the lagging site's copies are covered by recovery marks,
+   which presupposes a crash/recovery, so abandoning a continuously-up
+   site would lose the write permanently.
 
 Liveness watchdogs run as a periodic kernel process (warning severity,
 so they never trip the critical-only CI gate): a nominally-up site
 whose non-NS unreadable count stops draining
 (``liveness.drain_stall``), a copier service with pending work but
-frozen counters (``liveness.copier_starved``), and a 2PC span open past
-a configurable sim-time budget (``liveness.twopc_overrun``).
+frozen counters (``liveness.copier_starved``), a 2PC span open past a
+configurable sim-time budget (``liveness.twopc_overrun``), and an
+async-drain span open past its own budget
+(``liveness.drain_overrun``).
 
 All hooks are read-only: the auditor never mutates protocol state, and
 every hook list it populates is empty (one falsy test) when no auditor
@@ -77,6 +87,9 @@ class AuditConfig:
     copier_stall_budget: float = 400.0
     #: A 2PC span may stay open at most this long (needs spans enabled).
     twopc_budget: float = 200.0
+    #: An async-quorum drain span may stay open at most this long
+    #: (retries across site outages make drains slower than 2PC rounds).
+    drain_budget: float = 400.0
 
 
 def _vkey(version: "Version") -> tuple[float, int]:
@@ -114,7 +127,11 @@ class ProtocolAuditor:
         self._drain_state: dict[int, tuple[int, float, bool]] = {}
         self._copier_state: dict[int, tuple[tuple, float, bool]] = {}
         self._open_2pc: dict[int, typing.Any] = {}
+        self._open_drains: dict[int, typing.Any] = {}
         self._span_cursor = 0
+        #: Async commit decisions: txn_id -> {write site -> crash_count
+        #: at decision time}, consumed by the matching drain hook.
+        self._quorum_epochs: dict[str, dict[int, int]] = {}
         self._stopped = False
         self._wire()
 
@@ -125,6 +142,7 @@ class ProtocolAuditor:
         self.obs.audit = self
         for tm in system.tms.values():
             tm.finish_hooks.append(self._on_txn_finish)
+            tm.drain_hooks.append(self._on_drain_done)
         for site_id, dm in system.dms.items():
             dm.access_audit_hooks.append(self._access_hook(site_id))
             dm.read_audit_hooks.append(self._read_hook(site_id))
@@ -317,7 +335,90 @@ class ProtocolAuditor:
                             "targets": sorted(targets),
                         },
                     )
+        if (
+            txn.kind is TxnKind.USER
+            and txn.status is TxnStatus.COMMITTED
+            and txn.commit_mode == "async_quorum"
+        ):
+            self._check_quorum(txn)
         self._pump()
+
+    # -- (6) quorum commit soundness ------------------------------------------
+
+    def _check_quorum(self, txn: Transaction) -> None:
+        """Recompute the majority rule for a committed async transaction.
+
+        The auditor derives ``needed`` independently from the catalog
+        rather than trusting ``txn.quorum_needed``, so a bug in
+        ``quorum_needed`` itself is caught too. It also snapshots each
+        write site's crash epoch at decision time for the matching
+        drain-completion check.
+        """
+        self.checks += 1
+        catalog = self.system.catalog
+        needed = 1
+        for item in txn.written_items:
+            residents = catalog.sites_of(item)
+            if residents:
+                needed = max(needed, len(residents) // 2 + 1)
+        if txn.wrote_sites:
+            needed = min(needed, len(txn.wrote_sites))
+        prepared = txn.prepared_sites & txn.wrote_sites
+        if len(prepared) < needed:
+            self._alert(
+                "quorum.majority",
+                "critical",
+                f"async commit decided with {len(prepared)} durably "
+                f"prepared write sites, below the per-item majority "
+                f"threshold of {needed}",
+                site=txn.home_site,
+                txn_ids=(txn.txn_id,),
+                details={
+                    "prepared": sorted(prepared),
+                    "write_sites": sorted(txn.wrote_sites),
+                    "needed": needed,
+                },
+            )
+        sites = self.system.cluster.sites
+        self._quorum_epochs[txn.txn_id] = {
+            site_id: sites[site_id].crash_count
+            for site_id in txn.wrote_sites
+            if site_id in sites
+        }
+
+    def _on_drain_done(
+        self, txn: Transaction, acked: tuple[int, ...], lost: tuple[int, ...]
+    ) -> None:
+        """A drain gave up on ``lost`` — sound only under crash cover.
+
+        The drain's give-up path delegates a lagging site to recovery
+        (stable decision record + marks + ``wal.ship``), which only
+        runs if the site actually went down. A lost site whose crash
+        epoch never moved since the decision — it stayed up the whole
+        time — has no recovery coming: the committed write would be
+        silently missing from a live copy.
+        """
+        epochs = self._quorum_epochs.pop(txn.txn_id, {})
+        for site_id in lost:
+            self.checks += 1
+            site = self.system.cluster.sites.get(site_id)
+            if site is None:
+                continue
+            if not site.is_down and site.crash_count == epochs.get(site_id, -1):
+                self._alert(
+                    "quorum.drain_uncovered",
+                    "critical",
+                    f"async drain of {txn.txn_id} abandoned site {site_id} "
+                    "which never crashed since the decision: the write is "
+                    "missing there with no recovery pass coming",
+                    site=site_id,
+                    txn_ids=(txn.txn_id,),
+                    details={
+                        "lost": sorted(lost),
+                        "acked": sorted(acked),
+                        "decision_epoch": epochs.get(site_id),
+                    },
+                )
 
     # -- (5) WAL / durable coherence ------------------------------------------
 
@@ -454,7 +555,7 @@ class ProtocolAuditor:
             now = self.kernel.now
             self._watch_drain(now)
             self._watch_copiers(now)
-            self._watch_2pc(now)
+            self._watch_spans(now)
 
     def _unreadable_count(self, site: "Site") -> int:
         return sum(
@@ -511,30 +612,52 @@ class ProtocolAuditor:
                 )
                 self._copier_state[site_id] = (signature, since, True)
 
-    def _watch_2pc(self, now: float) -> None:
+    def _watch_spans(self, now: float) -> None:
+        """Budget 2PC and async-drain spans (one shared cursor pass)."""
         if not self.obs.spans_on:
             return
         spans = self.obs.spans.spans
         while self._span_cursor < len(spans):
             span = spans[self._span_cursor]
             self._span_cursor += 1
-            if span.category == "2pc" and span.end is None:
-                self._open_2pc[span.span_id] = span
-        for span_id, span in list(self._open_2pc.items()):
             if span.end is not None:
-                del self._open_2pc[span_id]
-            elif now - span.start > self.config.twopc_budget:
+                continue
+            if span.category == "2pc":
+                self._open_2pc[span.span_id] = span
+            elif span.category == "drain":
+                self._open_drains[span.span_id] = span
+        self._budget_spans(
+            now, self._open_2pc, self.config.twopc_budget,
+            "liveness.twopc_overrun", "2PC",
+        )
+        self._budget_spans(
+            now, self._open_drains, self.config.drain_budget,
+            "liveness.drain_overrun", "async drain",
+        )
+
+    def _budget_spans(
+        self,
+        now: float,
+        open_spans: dict[int, typing.Any],
+        budget: float,
+        rule: str,
+        label: str,
+    ) -> None:
+        for span_id, span in list(open_spans.items()):
+            if span.end is not None:
+                del open_spans[span_id]
+            elif now - span.start > budget:
                 self._alert(
-                    "liveness.twopc_overrun",
+                    rule,
                     "warning",
-                    f"2PC open for {now - span.start:.0f} sim-time units "
-                    f"(budget {self.config.twopc_budget:.0f})",
+                    f"{label} open for {now - span.start:.0f} sim-time units "
+                    f"(budget {budget:.0f})",
                     site=span.site_id,
                     txn_ids=(span.txn_id,) if span.txn_id else (),
                     span_id=span_id,
                     details={"open_for": now - span.start},
                 )
-                del self._open_2pc[span_id]
+                del open_spans[span_id]
 
     # -- metrics / reporting --------------------------------------------------
 

@@ -59,6 +59,7 @@ from repro.harness.experiments import (
     e7_control_cost,
     e8_serializability,
     e9_catchup,
+    e10_commit_modes,
 )
 
 Runner = typing.Callable[..., object]
@@ -120,6 +121,12 @@ EXPERIMENTS: dict[str, dict] = {
         "full": dict(n_items=24, missed_updates=(4, 16, 48)),
         "small": dict(n_items=12, missed_updates=(4, 12)),
     },
+    "e10": {
+        "module": e10_commit_modes,
+        "title": "commit modes: sync 2PC vs async quorum",
+        "full": dict(trials=4, duration=600.0),
+        "small": dict(trials=2, duration=300.0),
+    },
 }
 
 
@@ -132,7 +139,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (e1..e9), 'all', 'list', 'bench', 'trace', "
+        help="experiment id (e1..e10), 'all', 'list', 'bench', 'trace', "
         "'metrics', 'audit', or 'lint'",
     )
     parser.add_argument("--seed", type=int, default=3, help="master seed")

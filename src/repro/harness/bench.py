@@ -25,15 +25,26 @@ Trajectory schema::
             "timeout_churn_per_s": 800000.0,
             "copier_refresh_per_s": 12.5,
             "copier_refresh_audited_per_s": 12.0,
-            "txn_throughput_per_s": 120.0
+            "txn_throughput_per_s": 1.6,
+            "txn_throughput_async_per_s": 4.9,
+            "txn_commit_p50": 9.0,
+            "txn_commit_p99": 9.0,
+            "txn_commit_p50_async": 3.0,
+            "txn_commit_p99_async": 3.0
           },
           "obs": {"copier_refresh": {"...": "global metrics snapshot"}}
         }
       ]
     }
 
-Metrics are throughputs (bigger is better); machines differ, so only
-ratios between entries produced on the same machine are meaningful. The
+Metrics are throughputs (bigger is better) except the ``txn_commit_*``
+latency percentiles (sim-time units, smaller is better); machines
+differ, so only ratios between wall-clock entries produced on the same
+machine are meaningful. The ``txn_throughput*`` and ``txn_commit*``
+family is measured in *simulated* time (see
+:func:`bench_txn_throughput`) and is therefore deterministic and
+comparable across machines — the sync/async pair is the headline
+commit-mode comparison. The
 ``obs`` field carries the global metrics-registry snapshot of the
 system-level benches (``repro.obs``), and the gap between
 ``kernel_events_per_s`` and its ``_obs_off`` twin is the instrumentation
@@ -201,41 +212,85 @@ def bench_copier_refresh(
 
 
 def bench_txn_throughput(
-    n_txns: int = 200, repeats: int = 3, snapshots: dict | None = None
-) -> float:
-    """Sequential replicated read-modify-write transactions per second."""
+    n_txns: int = 200,
+    n_clients: int = 4,
+    commit_mode: str = "sync_2pc",
+    snapshots: dict | None = None,
+) -> dict:
+    """Closed-loop replicated read-modify-write load, one commit mode.
+
+    ``n_clients`` concurrent clients (homes round-robined over the
+    sites) each run ``n_txns // n_clients`` RMW transactions on a
+    private item, back to back: the moment one transaction is acked the
+    next begins. Throughput is measured in *simulated* seconds — client
+    transactions completed per sim-time unit from boot to the last
+    client ack — so the number is deterministic and machine-independent:
+    it isolates exactly what the commit path costs in network rounds
+    (2PC batching, pipelined prepares, quorum ack-early), not how fast
+    the host interpreter is. Disjoint write sets keep the comparison
+    free of abort/retry noise.
+
+    Returns ``{"throughput": txns per sim second, "p50": ..., "p99":
+    ...}`` where the percentiles are over begin-to-client-ack latency
+    (``TmStats.ack_latencies``) in sim-time units. With ``snapshots``,
+    the run's global metrics snapshot lands under
+    ``"txn_throughput[_<mode>]"`` — it carries the ``rpc.batches`` /
+    ``rpc.decisions_piggybacked`` counters that explain a throughput
+    shift.
+    """
     from repro.baselines import StrictROWA
+    from repro.harness.metrics import percentile
     from repro.net.latency import ConstantLatency
     from repro.system import DatabaseSystem
     from repro.txn.config import TxnConfig
 
-    def run() -> int:
-        kernel = Kernel(seed=0)
-        system = DatabaseSystem(
-            kernel, 3, {"X": 0},
-            strategy_factory=lambda _s: StrictROWA(),
-            latency=ConstantLatency(1.0),
-            config=TxnConfig(),
-        )
-        system.boot()
+    per_client = max(1, n_txns // n_clients)
+    kernel = Kernel(seed=0)
+    system = DatabaseSystem(
+        kernel, 3, {f"X{c}": 0 for c in range(n_clients)},
+        strategy_factory=lambda _s: StrictROWA(),
+        latency=ConstantLatency(1.0),
+        config=TxnConfig(commit_mode=commit_mode),
+    )
+    system.boot()
+
+    def client(c: int):
+        item = f"X{c}"
+        home = 1 + c % len(system.tms)
 
         def increment(ctx):
-            value = yield from ctx.read("X")
-            yield from ctx.write("X", value + 1)
+            value = yield from ctx.read(item)
+            yield from ctx.write(item, value + 1)
 
-        def driver():
-            for _ in range(n_txns):
-                yield from system.tms[1].run(increment)
-            return system.copy_value(1, "X")
+        for _ in range(per_client):
+            yield from system.tms[home].run(increment)
 
-        result = kernel.run(kernel.process(driver()))
-        system.stop()
-        assert result == n_txns
-        if snapshots is not None:
-            snapshots["txn_throughput"] = system.obs.registry.snapshot()["global"]
-        return n_txns
-
-    return _best_of(run, repeats)
+    procs = [
+        kernel.process(client(c), name=f"bench-client{c}")
+        for c in range(n_clients)
+    ]
+    for proc in procs:
+        kernel.run(proc)
+    elapsed = kernel.now  # last client ack; drains may still be open
+    kernel.run(until=kernel.now + 200.0)  # let async drains finish
+    system.stop()
+    for c in range(n_clients):
+        assert system.copy_value(1, f"X{c}") == per_client
+    latencies = [
+        latency
+        for tm in system.tms.values()
+        for latency in tm.stats.ack_latencies
+    ]
+    if snapshots is not None:
+        key = "txn_throughput" + (
+            "" if commit_mode == "sync_2pc" else f"_{commit_mode}"
+        )
+        snapshots[key] = system.obs.registry.snapshot()["global"]
+    return {
+        "throughput": per_client * n_clients / elapsed,
+        "p50": percentile(latencies, 50),
+        "p99": percentile(latencies, 99),
+    }
 
 
 def overhead_fraction(metrics: dict) -> float | None:
@@ -259,6 +314,21 @@ def run_suite(quick: bool = False, snapshots: dict | None = None) -> dict:
     ``snapshots``, if given, is filled with the global metrics snapshot
     of the system-level benches (see :func:`bench_copier_refresh`).
     """
+    n_txns = 60 if quick else 200
+    sync = bench_txn_throughput(
+        n_txns=n_txns, commit_mode="sync_2pc", snapshots=snapshots
+    )
+    async_q = bench_txn_throughput(
+        n_txns=n_txns, commit_mode="async_quorum", snapshots=snapshots
+    )
+    commit_metrics = {
+        "txn_throughput_per_s": sync["throughput"],
+        "txn_throughput_async_per_s": async_q["throughput"],
+        "txn_commit_p50": sync["p50"],
+        "txn_commit_p99": sync["p99"],
+        "txn_commit_p50_async": async_q["p50"],
+        "txn_commit_p99_async": async_q["p99"],
+    }
     if quick:
         return {
             "kernel_events_per_s": bench_kernel_events(n=4_000, repeats=3),
@@ -272,9 +342,7 @@ def run_suite(quick: bool = False, snapshots: dict | None = None) -> dict:
             "copier_refresh_audited_per_s": bench_copier_refresh(
                 n_items=8, repeats=1, audit=True
             ),
-            "txn_throughput_per_s": bench_txn_throughput(
-                n_txns=60, repeats=1, snapshots=snapshots
-            ),
+            **commit_metrics,
         }
     return {
         "kernel_events_per_s": bench_kernel_events(),
@@ -282,7 +350,7 @@ def run_suite(quick: bool = False, snapshots: dict | None = None) -> dict:
         "timeout_churn_per_s": bench_timeout_churn(),
         "copier_refresh_per_s": bench_copier_refresh(snapshots=snapshots),
         "copier_refresh_audited_per_s": bench_copier_refresh(audit=True),
-        "txn_throughput_per_s": bench_txn_throughput(snapshots=snapshots),
+        **commit_metrics,
     }
 
 

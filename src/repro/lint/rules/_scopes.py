@@ -60,6 +60,7 @@ DURABLE: tuple[str, ...] = (
 )
 
 HOT_PATH_FILES: tuple[str, ...] = (
+    "repro/net/rpc.py",
     "repro/sim/events.py",
     "repro/sim/kernel.py",
     "repro/sim/process.py",

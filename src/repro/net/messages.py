@@ -47,3 +47,43 @@ class Message:
     def is_reply(self) -> bool:
         """True when this message answers an earlier request."""
         return self.reply_to is not None
+
+
+#: Per-sub-call framing cost inside a batch envelope (msg_id + kind tag
+#: + ok flag), deliberately smaller than a full Message envelope — the
+#: whole point of coalescing.
+_BATCH_ITEM_BYTES = 9
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class BatchCalls:
+    """Several coalesced requests to one destination (``rpc.batch``).
+
+    Each entry is ``(msg_id, kind, payload, span_id)`` of a request that
+    would otherwise have been its own message; the receiver serves each
+    in its own process (identical semantics to unbatched delivery) and
+    answers all of them with one :class:`BatchResults` envelope.
+    """
+
+    calls: tuple[tuple[int, str, object, int | None], ...]
+
+    @property
+    def wire_size(self) -> int:
+        return sum(
+            _BATCH_ITEM_BYTES + getattr(payload, "wire_size", 0)
+            for _msg_id, _kind, payload, _span in self.calls
+        )
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class BatchResults:
+    """The batched replies: ``(reply_to_msg_id, ok, value)`` per call."""
+
+    results: tuple[tuple[int, bool, object], ...]
+
+    @property
+    def wire_size(self) -> int:
+        return sum(
+            _BATCH_ITEM_BYTES + getattr(value, "wire_size", 0)
+            for _msg_id, _ok, value in self.results
+        )

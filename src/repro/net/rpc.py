@@ -11,6 +11,17 @@ wrapped in :class:`RemoteError`.
 Call futures are created *defused*: when a caller dies in a site crash,
 the late reply or timeout that would have woken it must not be reported as
 an unhandled failure.
+
+2PC batching: calls whose kind is in :data:`BATCH_KINDS` bound for a
+*remote* destination are not sent immediately — they are queued per
+destination and flushed on a kernel microtask (zero simulated delay), so
+every prepare/commit/abort issued within one timestep to the same site
+coalesces into a single ``rpc.batch`` envelope, answered by a single
+``rpc.batch.reply``. This is also how decisions piggyback: a
+``dm.commit``/``dm.abort`` for a decided transaction rides the same
+envelope as whatever other 2PC traffic the timestep produced for that
+site. Single-call batches degenerate to the plain message, so the wire
+protocol only changes when there is something to coalesce.
 """
 
 from __future__ import annotations
@@ -19,7 +30,7 @@ import inspect
 import typing
 
 from repro.errors import Interrupt, NetworkError, ReproError, RpcTimeout
-from repro.net.messages import Message
+from repro.net.messages import BatchCalls, BatchResults, Message
 from repro.net.network import Endpoint, Network
 from repro.sim.events import Future
 from repro.sim.kernel import Callback, Kernel
@@ -30,9 +41,20 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 Handler = typing.Callable[[object, int], object]
 
+#: Call kinds eligible for per-destination coalescing: the 2PC fan-out
+#: rounds, which are the protocol's high-multiplicity traffic. Reads and
+#: writes stay unbatched — their latency is the client's critical path
+#: and their handlers may block on locks for long stretches.
+BATCH_KINDS: frozenset[str] = frozenset({"dm.prepare", "dm.commit", "dm.abort"})
+
+#: Decision kinds counted as piggybacked when they share an envelope.
+_DECISION_KINDS = ("dm.commit", "dm.abort")
+
 
 class RemoteError(NetworkError):
     """A handler raised an exception that is not part of the protocol."""
+
+    __slots__ = ("site_id", "kind", "original")
 
     def __init__(self, site_id: int, kind: str, original: BaseException) -> None:
         super().__init__(f"handler {kind!r} at site {site_id} crashed: {original!r}")
@@ -43,6 +65,23 @@ class RemoteError(NetworkError):
 
 class RpcNode:
     """Per-site RPC endpoint: handler registry, dispatcher, caller API."""
+
+    __slots__ = (
+        "kernel",
+        "network",
+        "site_id",
+        "obs",
+        "endpoint",
+        "batch_kinds",
+        "stats_batches",
+        "stats_batched_calls",
+        "stats_decisions_piggybacked",
+        "_handlers",
+        "_pending",
+        "_dispatcher",
+        "_servers",
+        "_outbatch",
+    )
 
     def __init__(
         self,
@@ -56,6 +95,12 @@ class RpcNode:
         self.site_id = site_id
         self.obs = obs
         self.endpoint: Endpoint = network.attach(site_id)
+        #: Kinds this node coalesces (per-instance so tests and
+        #: experiments can disable batching with ``()``).
+        self.batch_kinds: frozenset[str] = BATCH_KINDS
+        self.stats_batches = 0  # envelopes sent with >= 2 calls
+        self.stats_batched_calls = 0  # calls that rode those envelopes
+        self.stats_decisions_piggybacked = 0  # commit/abort among them
         self._handlers: dict[str, Handler] = {}
         #: msg_id -> (reply future, expiry timer or None). The timer is a
         #: lazily-cancelled kernel callback: when the reply wins the race
@@ -68,6 +113,8 @@ class RpcNode:
         # servers in id-hash order on stop(), which varies across
         # interpreter runs (REP002).
         self._servers: dict[Process, None] = {}
+        #: Per-destination outgoing batch, flushed on a kernel microtask.
+        self._outbatch: dict[int, list[Message]] = {}
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -100,6 +147,7 @@ class RpcNode:
             if timer is not None:
                 timer.cancel()
         self._pending.clear()
+        self._outbatch.clear()
 
     # -- handler registry ------------------------------------------------------
 
@@ -157,7 +205,7 @@ class RpcNode:
             else None
         )
         self._pending[msg.msg_id] = (future, timer)
-        self.network.send(msg)
+        self._send_or_batch(msg)
         return future
 
     def call_many(
@@ -179,19 +227,92 @@ class RpcNode:
         if entry is not None and not entry[0].triggered:
             entry[0].fail(RpcTimeout(dst, kind))
 
+    # -- outgoing batcher ------------------------------------------------------
+
+    def _send_now(self, msg: Message) -> None:
+        """Immediate send that preserves per-destination FIFO: anything
+        already parked in the batch for this destination departs first.
+        Without this, a parked ``dm.commit`` could be overtaken by a
+        later same-timestep read/write/reply to the same site — an
+        ordering the unbatched protocol never produced."""
+        if self._outbatch.get(msg.dst):
+            self._flush_batch(msg.dst)
+        self.network.send(msg)
+
+    def _send_or_batch(self, msg: Message) -> None:
+        """Send now, or park in the per-destination batch.
+
+        Only remote 2PC traffic is coalesced: local sends are already
+        zero-latency same-timestep deliveries, so batching them would
+        only add framing.
+        """
+        if msg.kind not in self.batch_kinds or msg.dst == self.site_id:
+            self._send_now(msg)
+            return
+        queue = self._outbatch.setdefault(msg.dst, [])
+        queue.append(msg)
+        if len(queue) == 1:
+            # First call this timestep for this destination: arm the
+            # flush microtask. Everything queued before it runs — all
+            # same-timestep calls — rides the same envelope.
+            self.kernel.call_soon(self._flush_batch, msg.dst)
+
+    def _flush_batch(self, dst: int) -> None:
+        msgs = self._outbatch.pop(dst, None)
+        if not msgs:
+            return  # crashed (stop() cleared the batch) before the flush
+        if len(msgs) == 1:
+            self.network.send(msgs[0])
+            return
+        self.stats_batches += 1
+        self.stats_batched_calls += len(msgs)
+        self.stats_decisions_piggybacked += sum(
+            1 for m in msgs if m.kind in _DECISION_KINDS
+        )
+        self.network.send(
+            Message(
+                src=self.site_id,
+                dst=dst,
+                kind="rpc.batch",
+                payload=BatchCalls(
+                    tuple((m.msg_id, m.kind, m.payload, m.span_id) for m in msgs)
+                ),
+            )
+        )
+
     # -- server side -----------------------------------------------------------
 
     def _dispatch(self) -> typing.Generator:
+        # Greedy drain: one wakeup handles every message already in the
+        # inbox. Beyond saving a kernel event per message, this is what
+        # lets outgoing batches form — all same-timestep replies complete
+        # their callers before any caller's follow-up flush fires, so the
+        # follow-up calls coalesce.
+        inbox = self.endpoint.inbox
         while True:
-            msg = yield self.endpoint.inbox.get()
-            if msg.is_reply():
-                self._complete_call(msg)
-            else:
-                self._spawn_server(msg)
+            msg = yield inbox.get()
+            while True:
+                if msg.is_reply():
+                    self._complete_call(msg)
+                else:
+                    self._spawn_server(msg)
+                if not len(inbox):
+                    break
+                msg = inbox.get_nowait()
 
     def _complete_call(self, msg: Message) -> None:
+        if msg.kind == "rpc.batch.reply":
+            batch_results = msg.payload
+            assert isinstance(batch_results, BatchResults)
+            for msg_id, ok, value in batch_results.results:
+                self._complete_one(msg_id, ok, value)
+            return
         assert msg.reply_to is not None
-        entry = self._pending.pop(msg.reply_to, None)
+        ok, value = msg.payload
+        self._complete_one(msg.reply_to, ok, value)
+
+    def _complete_one(self, msg_id: int, ok: bool, value: object) -> None:
+        entry = self._pending.pop(msg_id, None)
         if entry is None:
             return  # late reply for a timed-out or pre-crash request
         future, timer = entry
@@ -199,13 +320,15 @@ class RpcNode:
             timer.cancel()
         if future.triggered:
             return
-        ok, value = msg.payload
         if ok:
             future.succeed(value)
         else:
             future.fail(value)
 
     def _spawn_server(self, msg: Message) -> None:
+        if msg.kind == "rpc.batch":
+            self._spawn_batch_server(msg)
+            return
         handler = self._handlers.get(msg.kind)
         if handler is None:
             exc = NetworkError(f"no handler for {msg.kind!r} at site {self.site_id}")
@@ -243,8 +366,97 @@ class RpcNode:
             return
         self._reply(msg, ok=True, value=result)
 
+    def _spawn_batch_server(self, envelope: Message) -> None:
+        """Unpack an ``rpc.batch``: serve every sub-call in its own process
+        (identical semantics to unbatched delivery), answer all of them
+        with one ``rpc.batch.reply`` once the last server finishes."""
+        batch = envelope.payload
+        assert isinstance(batch, BatchCalls)
+        results: dict[int, tuple[bool, object]] = {}
+        remaining = [len(batch.calls)]
+
+        def finish_one(_ev: object = None) -> None:
+            remaining[0] -= 1
+            if remaining[0] == 0 and self.running:
+                self._reply_batch(envelope, batch, results)
+
+        for msg_id, kind, payload, span_id in batch.calls:
+            handler = self._handlers.get(kind)
+            if handler is None:
+                results[msg_id] = (
+                    False,
+                    NetworkError(f"no handler for {kind!r} at site {self.site_id}"),
+                )
+                finish_one()
+                continue
+            server = self.kernel.process(
+                self._serve_sub(handler, msg_id, kind, payload, envelope.src, results),
+                name=f"rpc-serve[{self.site_id}]:{kind}",
+            )
+            self._servers[server] = None
+            server.defuse()
+            server.add_callback(
+                lambda _ev, server=server: self._servers.pop(server, None)
+            )
+            obs = self.obs
+            if obs is not None and obs.spans_on and span_id is not None:
+                recorder = obs.spans
+                span = recorder.start(
+                    f"serve:{kind}", "serve", self.site_id, parent=span_id
+                )
+                server.add_callback(
+                    lambda ev, span=span: recorder.finish(span, ok=ev.ok)
+                )
+            server.add_callback(finish_one)
+
+    def _serve_sub(
+        self,
+        handler: Handler,
+        msg_id: int,
+        kind: str,
+        payload: object,
+        src: int,
+        results: dict[int, tuple[bool, object]],
+    ) -> typing.Generator:
+        try:
+            result = handler(payload, src)
+            if inspect.isgenerator(result):
+                result = yield from result
+        except Interrupt:
+            raise  # site crash tearing this server down
+        except ReproError as exc:
+            results[msg_id] = (False, exc)
+            return
+        except Exception as exc:  # noqa: BLE001 - handler bug, not protocol
+            results[msg_id] = (False, RemoteError(self.site_id, kind, exc))
+            return
+        results[msg_id] = (True, result)
+
+    def _reply_batch(
+        self,
+        envelope: Message,
+        batch: BatchCalls,
+        results: dict[int, tuple[bool, object]],
+    ) -> None:
+        packed = []
+        for msg_id, kind, _payload, _span in batch.calls:
+            ok, value = results.get(
+                msg_id,
+                (False, NetworkError(f"handler {kind!r} at site {self.site_id} died")),
+            )
+            packed.append((msg_id, ok, value))
+        self._send_now(
+            Message(
+                src=self.site_id,
+                dst=envelope.src,
+                kind="rpc.batch.reply",
+                payload=BatchResults(tuple(packed)),
+                reply_to=envelope.msg_id,
+            )
+        )
+
     def _reply(self, request: Message, ok: bool, value: object) -> None:
-        self.network.send(
+        self._send_now(
             Message(
                 src=self.site_id,
                 dst=request.src,

@@ -21,6 +21,9 @@ import importlib
 import typing
 
 SCENARIO_MODULES: dict[str, str] = {
+    # Values are "module" (entry point ``traced_scenario``) or
+    # "module:attr" when one experiment exposes several variants —
+    # e10/e10sync are the same grid cell in each commit mode.
     "e1": "repro.harness.experiments.e1_availability",
     "e2": "repro.harness.experiments.e2_resume",
     "e3": "repro.harness.experiments.e3_overhead",
@@ -30,6 +33,8 @@ SCENARIO_MODULES: dict[str, str] = {
     "e7": "repro.harness.experiments.e7_control_cost",
     "e8": "repro.harness.experiments.e8_serializability",
     "e9": "repro.harness.experiments.e9_catchup",
+    "e10": "repro.harness.experiments.e10_commit_modes",
+    "e10sync": "repro.harness.experiments.e10_commit_modes:traced_scenario_sync",
 }
 
 
@@ -63,6 +68,8 @@ def run_traced(experiment: str, seed: int = 0, audit: bool = False) -> TracedRun
             f"unknown experiment {experiment!r}; "
             f"choose from {', '.join(scenario_names())}"
         ) from None
+    module_name, _, attr = module_name.partition(":")
     module = importlib.import_module(module_name)
-    kernel, system, obs, summary = module.traced_scenario(seed, audit=audit)
+    scenario = getattr(module, attr or "traced_scenario")
+    kernel, system, obs, summary = scenario(seed, audit=audit)
     return TracedRun(experiment, kernel, system, obs, summary)

@@ -55,6 +55,14 @@ class Queue:
             future.on_abandoned(self._forget_getter)
         return future
 
+    def get_nowait(self) -> object:
+        """Pop the next item without waiting; raises IndexError when empty.
+
+        Lets a consumer that just woke up drain everything already
+        delivered in one go instead of paying one kernel event per item.
+        """
+        return self._items.popleft()
+
     def _forget_getter(self, future: Future) -> None:
         try:
             self._getters.remove(future)

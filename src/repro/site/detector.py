@@ -26,6 +26,7 @@ class FailureDetector:
         self._all_sites = tuple(all_sites)
         self._up: set[int] = set(all_sites)
         self._down_callbacks: list[typing.Callable[[int], None]] = []
+        self._up_callbacks: list[typing.Callable[[int], None]] = []
         #: Down transitions observed over this detector's lifetime
         #: (scraped by the obs layer; reset() does not clear it).
         self.down_events = 0
@@ -42,6 +43,16 @@ class FailureDetector:
         """Register ``callback(site_id)`` for future down notifications."""
         self._down_callbacks.append(callback)
 
+    def on_up(self, callback: typing.Callable[[int], None]) -> None:
+        """Register ``callback(site_id)`` for future up transitions.
+
+        Fires when a site this detector believed down announces itself
+        back (recovery announcement or partition merge) — the moment an
+        in-doubt 2PC participant can get an authoritative answer from a
+        previously unreachable coordinator.
+        """
+        self._up_callbacks.append(callback)
+
     def mark_down(self, site_id: int) -> None:
         """Record a crash; fires callbacks once per transition."""
         if site_id not in self._up:
@@ -52,8 +63,12 @@ class FailureDetector:
             callback(site_id)
 
     def mark_up(self, site_id: int) -> None:
-        """Record that a site is live again (e.g. it contacted us)."""
+        """Record that a site is live again; fires callbacks per transition."""
+        if site_id in self._up:
+            return
         self._up.add(site_id)
+        for callback in list(self._up_callbacks):
+            callback(site_id)
 
     def reset(self, up_sites: typing.Iterable[int]) -> None:
         """Reinitialize the view (used when this site reboots)."""

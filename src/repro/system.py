@@ -82,6 +82,10 @@ class DatabaseSystem:
         reset_msg_counter()
         self.kernel = kernel
         self.config = config if config is not None else TxnConfig()
+        if concurrency == "to" and self.config.commit_mode == "async_quorum":
+            # The async safety argument leans on strict 2PL holding X
+            # locks until the drained apply lands; TO has no such fence.
+            raise ValueError("commit_mode='async_quorum' requires 2PL concurrency")
         self.obs = obs if obs is not None else Observability(kernel)
         self.cluster = Cluster(
             kernel,
@@ -142,12 +146,19 @@ class DatabaseSystem:
         self.deadlock_detector = GlobalDeadlockDetector(
             kernel, self._live_lock_managers, interval=self.config.deadlock_interval
         )
-        # Detector-driven orphan cleanup: when a site is declared down,
-        # every DM promptly resolves the transactions it coordinated
-        # (instead of waiting out the periodic watcher's timeout).
+        # Detector-driven 2PC termination: when a site is declared down
+        # or announces recovery, every DM promptly resolves the
+        # transactions it coordinated (instead of waiting out the
+        # periodic watcher's timeout) — the up-transition path is what
+        # unblocks in-doubt prepared participants the moment their
+        # coordinator's stable decision log is reachable again.
         for site_id, dm in self.dms.items():
-            self.cluster.detector(site_id).on_down(
-                lambda crashed, dm=dm: dm.resolve_orphans_of(crashed)
+            detector = self.cluster.detector(site_id)
+            detector.on_down(
+                lambda changed, dm=dm: dm.resolve_coordinated_by(changed)
+            )
+            detector.on_up(
+                lambda changed, dm=dm: dm.resolve_coordinated_by(changed)
             )
         instrument_system(self)
 

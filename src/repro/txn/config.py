@@ -26,13 +26,42 @@ class TxnConfig:
     decision_timeout:
         How long a prepared participant waits for the coordinator's
         decision before starting cooperative termination.
+    indoubt_retry:
+        Retry period for a participant that is *prepared and in doubt*
+        (termination attempted, no decisive evidence — the classic 2PC
+        blocking window). Such a participant holds X locks that stall
+        every conflicting transaction, so it re-polls much faster than
+        ``decision_timeout``: the coordinator answers ``tm.outcome``
+        from stable storage the moment it is powered back on, long
+        before its recovery procedure finishes.
     max_read_attempts:
         How many alternative copies a read strategy may try before the
         transaction gives up (stale-view redirects).
+    commit_mode:
+        Commit strategy for user transactions: ``"sync_2pc"`` (the
+        write-all baseline: prepare round, then commit round, client
+        acked after both) or ``"async_quorum"`` (pipelined prepare on
+        write; the coordinator decides and acks the client once a
+        majority of resident copies is durably prepared, then drains
+        the applies asynchronously — see DESIGN.md "Commit modes").
+        Control and copier transactions always commit synchronously.
+    drain_retries:
+        Extra ``dm.commit`` attempts the async drain makes per lagging
+        site before giving the site up to recovery marks.
+    drain_retry_delay:
+        Pause between drain retry rounds.
     """
 
     rpc_timeout: float = 50.0
     lock_wait_timeout: float | None = None
     deadlock_interval: float = 25.0
     decision_timeout: float = 200.0
+    indoubt_retry: float = 25.0
     max_read_attempts: int = 4
+    commit_mode: str = "sync_2pc"
+    drain_retries: int = 1
+    drain_retry_delay: float = 10.0
+
+
+COMMIT_MODES = ("sync_2pc", "async_quorum")
+"""Valid ``TxnConfig.commit_mode`` values."""

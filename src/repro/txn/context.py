@@ -6,7 +6,7 @@ import typing
 
 from repro.storage.copies import Version
 from repro.txn.payloads import BatchReadRequest, FinishRequest, ReadRequest, WriteRequest
-from repro.txn.transaction import Transaction
+from repro.txn.transaction import Transaction, TxnKind
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.txn.manager import TransactionManager
@@ -99,6 +99,11 @@ class TxnContext:
         )
         return reply
 
+    def _prepare_on_write(self) -> bool:
+        """Pipelined 2PC: under ``async_quorum``, every user-transaction
+        write carries a prepare vote (the ack doubles as phase one)."""
+        return self.tm.prepare_on_write and self.txn.kind is TxnKind.USER
+
     def dm_write(
         self,
         site_id: int,
@@ -111,6 +116,7 @@ class TxnContext:
         missed_sites: tuple[int, ...] = (),
     ) -> typing.Generator:
         """Buffer a write of ``item`` at ``site_id`` (applied at commit)."""
+        prepare = self._prepare_on_write()
         request = WriteRequest(
             txn_id=self.txn.txn_id,
             txn_seq=self.txn.seq,
@@ -122,13 +128,17 @@ class TxnContext:
             version_override=version_override,
             applied_sites=applied_sites,
             missed_sites=missed_sites,
+            prepare=prepare,
         )
         self.txn.touched_sites.add(site_id)
+        self.txn.written_items.add(item)
         yield self.tm.rpc.call(
             site_id, "dm.write", request, timeout=self.tm.config.rpc_timeout,
             span_parent=self._span,
         )
         self.txn.wrote_sites.add(site_id)
+        if prepare:
+            self.txn.prepared_sites.add(site_id)
         return None
 
     def dm_write_all(
@@ -149,6 +159,8 @@ class TxnContext:
         applied_sites = tuple(site_id for site_id, _expected in targets)
         if self.tm.site.obs.audit is not None:
             self.txn.logical_writes.append((item, applied_sites))
+        prepare = self._prepare_on_write()
+        self.txn.written_items.add(item)
         futures = []
         for site_id, expected in targets:
             request = WriteRequest(
@@ -162,6 +174,7 @@ class TxnContext:
                 version_override=version_override,
                 applied_sites=applied_sites,
                 missed_sites=missed_sites,
+                prepare=prepare,
             )
             self.txn.touched_sites.add(site_id)
             futures.append(
@@ -172,6 +185,9 @@ class TxnContext:
         for site_id, future in futures:
             yield future
             self.txn.wrote_sites.add(site_id)
+            if prepare:
+                # Pipelined 2PC: this ack was also the prepare vote.
+                self.txn.prepared_sites.add(site_id)
         return None
 
     def release_site(self, site_id: int) -> None:

@@ -42,6 +42,7 @@ from repro.txn.payloads import (
     BatchReadRequest,
     CommitRequest,
     FinishRequest,
+    MarkMissedRequest,
     OutcomeQuery,
     PrepareRequest,
     ReadRequest,
@@ -61,7 +62,13 @@ class WriteIntent:
 
 @dataclasses.dataclass
 class _Participation:
-    """Volatile record of one transaction's activity at this DM."""
+    """Record of one transaction's activity at this DM.
+
+    Volatile by default; under the ``async_quorum`` commit mode a
+    prepared participation is also journaled (``durable``) and re-armed
+    from the WAL after a crash (``restored``), so an acked commit
+    survives even if every write site goes down before applying.
+    """
 
     txn_id: str
     txn_seq: int
@@ -70,6 +77,8 @@ class _Participation:
     writes: dict[str, WriteIntent] = dataclasses.field(default_factory=dict)
     prepared: bool = False
     participants: tuple[int, ...] = ()
+    durable: bool = False  # prepare records reached the WAL
+    restored: bool = False  # re-armed from the WAL after a crash
 
 
 class DataManager:
@@ -113,6 +122,10 @@ class DataManager:
         self.stale_tracker: typing.Any = None
         self.stats_session_rejections = 0
         self.stats_unreadable_rejections = 0
+        #: Transactions with a live fast-resolver loop (see
+        #: :meth:`resolve_coordinated_by`); guards against stacking one
+        #: loop per detector transition.
+        self._fast_resolving: set[str] = set()
 
         site.rpc.register("dm.read", self._handle_read)
         site.rpc.register("dm.read_batch", self._handle_read_batch)
@@ -122,7 +135,12 @@ class DataManager:
         site.rpc.register("dm.abort", self._handle_finish)
         site.rpc.register("dm.release", self._handle_finish)
         site.rpc.register("dm.outcome", self._handle_outcome)
+        site.rpc.register("dm.mark_missed", self._handle_mark_missed)
         site.crash_hooks.append(self._on_crash)
+        # Runs after the WAL's restore (site.power_on replays the log
+        # before any hook): re-arm durably prepared, undecided
+        # transactions as in-doubt participations.
+        site.power_on_hooks.append(self._on_power_on)
 
     @property
     def site_id(self) -> int:
@@ -137,6 +155,7 @@ class DataManager:
         )
         self._participations.clear()
         self._decided.clear()
+        self._fast_resolving.clear()
         self.actual_session = 0
 
     # -- access checks -----------------------------------------------------------
@@ -293,6 +312,34 @@ class DataManager:
             applied_sites=request.applied_sites,
             missed_sites=request.missed_sites,
         )
+        if request.prepare:
+            # Pipelined 2PC (async_quorum): this ack doubles as a
+            # prepare vote. Safe because strict 2PL already holds the X
+            # lock and the intent is buffered — the only way to renege
+            # is a crash, which the coordinator's quorum rule and the
+            # recovery marks cover. Deadlock victims are aborted by the
+            # coordinator globally *before* any decision, so the vote's
+            # promise is never broken unilaterally.
+            part.prepared = True
+            part.participants = tuple(request.applied_sites) or (self.site_id,)
+            wal = self.site.wal
+            if wal is not None:
+                wal.log_prepare(
+                    request.txn_id,
+                    request.txn_seq,
+                    part.coordinator,
+                    part.participants,
+                    request.item,
+                    request.value,
+                    version_override=request.version_override,
+                    applied_sites=request.applied_sites,
+                    missed_sites=request.missed_sites,
+                )
+                part.durable = True
+                # Group commit: every prepare landing this timestep
+                # shares one stable segment write; the ack is gated on
+                # durability but costs no simulated time.
+                yield wal.flush_soon()
         return True
 
     # -- 2PC participant ------------------------------------------------------------
@@ -315,6 +362,15 @@ class DataManager:
         self._apply_abort(request.txn_id)
         return True
 
+    def _handle_mark_missed(self, request: MarkMissedRequest, src: int) -> bool:
+        """Record (item, site) staleness pairs reported by a coordinator
+        whose COMMIT never reached ``site`` — see
+        :class:`~repro.txn.payloads.MarkMissedRequest`."""
+        if self.stale_tracker is not None:
+            for item, missed in request.pairs:
+                self.stale_tracker.on_commit_write(item, (), (missed,))
+        return True
+
     def _handle_outcome(self, query: OutcomeQuery, src: int) -> tuple[str, Version | None]:
         decided = self._decided.get(query.txn_id)
         if decided is not None:
@@ -330,7 +386,23 @@ class DataManager:
             return  # idempotent (duplicate decision or post-crash)
         for item, intent in part.writes.items():
             applied = intent.version_override if intent.version_override is not None else version
-            self.site.copies.apply_write(item, intent.value, applied)
+            if part.restored:
+                # In-doubt apply after a restart: a copier may already
+                # have refreshed this copy past the prepared write, and
+                # the copy's unreadable mark (recovery step 2) must
+                # survive the apply — this one committed write does not
+                # prove the copy is current.
+                if not self.site.copies.has(item):
+                    continue
+                current = self.site.copies.get(item)
+                if current.version >= applied:
+                    continue  # superseded while we were down
+                was_unreadable = current.unreadable
+                self.site.copies.apply_write(item, intent.value, applied)
+                if was_unreadable:
+                    self.site.copies.mark_unreadable(item)
+            else:
+                self.site.copies.apply_write(item, intent.value, applied)
             self.recorder.record_write(
                 time=self.kernel.now,
                 txn_id=txn_id,
@@ -361,43 +433,169 @@ class DataManager:
                     intent.version_override is not None,
                 )
         self._decided[txn_id] = ("committed", version)
-        if part.writes and self.site.wal is not None:
-            # Group commit: every record journaled while applying this
-            # transaction's writes becomes durable in one segment write.
-            self.site.wal.on_commit()
+        if self.site.wal is not None:
+            if part.durable:
+                # The resolve record rides the same group commit as the
+                # applied writes; it retires the in-doubt prepare.
+                self.site.wal.log_resolve(txn_id, "committed")
+            if part.writes or part.durable:
+                # Group commit: every record journaled while applying this
+                # transaction's writes becomes durable in one segment write.
+                self.site.wal.on_commit()
         self.lock_manager.cancel(txn_id)
 
     def _apply_abort(self, txn_id: str) -> None:
         part = self._participations.pop(txn_id, None)
         if part is not None:
             self._decided[txn_id] = ("aborted", None)
+            if part.durable and self.site.wal is not None:
+                # Lazy durability: losing this record only re-arms the
+                # transaction as in-doubt, and resolution re-aborts.
+                self.site.wal.log_resolve(txn_id, "aborted")
         self.lock_manager.cancel(txn_id)
 
     # -- orphan/in-doubt termination -----------------------------------------------
 
-    def resolve_orphans_of(self, coordinator: int) -> None:
-        """Immediately resolve transactions coordinated by a site that the
-        failure detector just declared down.
+    def _on_power_on(self) -> None:
+        """Re-arm durably prepared, undecided transactions after a restart.
 
-        Without this, locks held by a crashed coordinator's transactions
-        leak until the periodic orphan watcher's ``decision_timeout``
-        fires — long enough to stall user transactions and, transitively,
-        the NS lock chain a recovering site's type-1 needs (observed in
-        the operations-dashboard incident). The watcher remains as the
-        backstop for coordinators that stop answering without crashing.
+        The WAL's restore (which ran just before this hook) collected
+        every prepare record without a matching resolve. Each becomes an
+        in-doubt participation — prepared, holding no locks (the site is
+        recovering, so user traffic is fenced off by ``as[k] = 0``) —
+        and a resolver process that queries the coordinator immediately
+        instead of waiting out ``decision_timeout``.
+        """
+        wal = self.site.wal
+        if wal is None:
+            return
+        for txn_id, records in wal.unresolved_prepares().items():
+            if txn_id in self._participations or txn_id in self._decided:
+                continue
+            writes: dict[str, WriteIntent] = {}
+            coordinator = self.site_id
+            txn_seq = 0
+            participants: tuple[int, ...] = ()
+            for record in records:  # LSN order: the last record per item wins
+                assert record.item is not None
+                writes[record.item] = WriteIntent(
+                    value=record.value,
+                    version_override=record.version,
+                    applied_sites=record.applied_sites,
+                    missed_sites=record.missed_sites,
+                )
+                txn_seq = record.txn_seq
+                participants = record.participants
+                if record.coordinator is not None:
+                    coordinator = record.coordinator
+            self._participations[txn_id] = _Participation(
+                txn_id=txn_id,
+                txn_seq=txn_seq,
+                kind="user",
+                coordinator=coordinator,
+                writes=writes,
+                prepared=True,
+                participants=participants,
+                durable=True,
+                restored=True,
+            )
+            self.site.spawn(self._indoubt_watch(txn_id), name=f"in-doubt:{txn_id}")
+
+    def _indoubt_watch(self, txn_id: str) -> typing.Generator:
+        """Resolve a restored in-doubt participation, starting right away."""
+        while True:
+            part = self._participations.get(txn_id)
+            if part is None:
+                return
+            done = yield from self._resolve(part)
+            if done:
+                yield from self._announce_outcome(part)
+                return
+            yield self.kernel.timeout(self.config.indoubt_retry)
+
+    def _announce_outcome(self, part: _Participation) -> typing.Generator:
+        """Cooperative-termination push after resolving a restored in-doubt
+        transaction: tell the other participants the outcome.
+
+        They are polling the coordinator too, but every blocked attempt
+        eats a full RPC-timeout round against the (then-down) coordinator
+        before falling back to peers — this push releases their X locks
+        within one message delay of this site powering back on. Both
+        messages are idempotent duplicates of the coordinator's own
+        decision traffic, so racing the peers' resolvers is harmless.
+        """
+        outcome = self._decided.get(part.txn_id)
+        if outcome is None:
+            return
+        status, version = outcome
+        for peer in part.participants:
+            if peer == self.site_id:
+                continue
+            try:
+                if status == "committed":
+                    assert version is not None
+                    yield self.site.rpc.call(
+                        peer, "dm.commit", CommitRequest(part.txn_id, version),
+                        timeout=self.config.rpc_timeout,
+                    )
+                else:
+                    yield self.site.rpc.call(
+                        peer, "dm.abort", FinishRequest(part.txn_id),
+                        timeout=self.config.rpc_timeout,
+                    )
+            except (NetworkError, TransactionError):
+                continue  # the peer's own resolver remains the backstop
+
+    def resolve_coordinated_by(self, coordinator: int) -> None:
+        """Immediately resolve transactions coordinated by a site whose
+        reachability just changed (declared down, or announced back up).
+
+        On the *down* transition: without this, locks held by a crashed
+        coordinator's transactions leak until the periodic orphan
+        watcher's ``decision_timeout`` fires — long enough to stall user
+        transactions and, transitively, the NS lock chain a recovering
+        site's type-1 needs (observed in the operations-dashboard
+        incident). On the *up* transition: a durably prepared in-doubt
+        participant blocked on the classic 2PC window gets its
+        authoritative answer (stable decision record, else presumed
+        abort) the moment the coordinator announces recovery, instead of
+        holding its X locks for up to ``decision_timeout`` after the
+        coordinator is already back — under ``async_quorum``, whose
+        pipelined prepares make every mid-transaction coordinator crash
+        an in-doubt episode, that gap is the difference between a brief
+        stall and wedging every hot item for the poll interval. The
+        watcher remains as the backstop for coordinators that stop
+        answering without crashing.
         """
         for part in list(self._participations.values()):
-            if part.coordinator == coordinator:
+            if part.coordinator == coordinator and (
+                part.txn_id not in self._fast_resolving
+            ):
+                self._fast_resolving.add(part.txn_id)
                 self.site.spawn(
-                    self._resolve_once(part.txn_id),
+                    self._resolve_fast(part.txn_id),
                     name=f"orphan-now:{part.txn_id}",
                 )
 
-    def _resolve_once(self, txn_id: str) -> typing.Generator:
-        part = self._participations.get(txn_id)
-        if part is None:
-            return
-        yield from self._resolve(part)
+    def _resolve_fast(self, txn_id: str) -> typing.Generator:
+        """Resolve now; while blocked in doubt, re-poll at ``indoubt_retry``.
+
+        A single blocked attempt is not enough: the coordinator answers
+        ``tm.outcome`` from stable storage the moment it is powered back
+        on — polling fast turns "X locks held until the coordinator's
+        recovery procedure completes" into "held until it has power".
+        """
+        try:
+            while True:
+                part = self._participations.get(txn_id)
+                if part is None:
+                    return
+                done = yield from self._resolve(part)
+                if done or not part.prepared:
+                    return
+                yield self.kernel.timeout(self.config.indoubt_retry)
+        finally:
+            self._fast_resolving.discard(txn_id)
 
     def _orphan_watch(self, txn_id: str) -> typing.Generator:
         """Resolve transactions whose coordinator stopped talking to us.
@@ -405,16 +603,22 @@ class DataManager:
         Covers both in-doubt prepared participants (classic 2PC
         termination) and plain orphans (coordinator crashed before
         prepare, leaving locks held here). Presumed abort: when neither
-        the coordinator nor any peer knows a commit, abort.
+        the coordinator nor any peer knows a commit, abort. Once a
+        prepared participant has *tried* termination and come up empty
+        (blocked in doubt, X locks held), it drops to the much shorter
+        ``indoubt_retry`` period.
         """
+        interval = self.config.decision_timeout
         while True:
-            yield self.kernel.timeout(self.config.decision_timeout)
+            yield self.kernel.timeout(interval)
             part = self._participations.get(txn_id)
             if part is None:
                 return  # decided through the normal path
             done = yield from self._resolve(part)
             if done:
                 return
+            if part.prepared:
+                interval = self.config.indoubt_retry
 
     def _resolve(self, part: _Participation) -> typing.Generator:
         status, version = yield from self._query(

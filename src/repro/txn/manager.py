@@ -34,10 +34,16 @@ from repro.sim.process import Process
 from repro.site.site import Site
 from repro.storage.catalog import Catalog
 from repro.storage.copies import Version
-from repro.txn.config import TxnConfig
+from repro.txn.commit import AsyncQuorumCommit, Sync2pcCommit
+from repro.txn.config import COMMIT_MODES, TxnConfig
 from repro.txn.context import TxnContext
-from repro.txn.payloads import CommitRequest, FinishRequest, OutcomeQuery, PrepareRequest
-from repro.txn.strategy import ReplicationStrategy
+from repro.txn.payloads import (
+    CommitRequest,
+    FinishRequest,
+    MarkMissedRequest,
+    OutcomeQuery,
+)
+from repro.txn.strategy import CommitStrategy, ReplicationStrategy
 from repro.txn.transaction import Transaction, TxnKind, TxnStatus, next_commit_seq
 
 TxnProgram = typing.Callable[[TxnContext], typing.Generator]
@@ -58,6 +64,19 @@ class TmStats:
         default_factory=collections.Counter
     )
     commit_latencies: list[float] = dataclasses.field(default_factory=list)
+    #: Begin-to-client-ack latency per committed user transaction: unlike
+    #: ``commit_latencies`` (begin to decision), this includes whatever
+    #: the commit strategy keeps on the client path — the full 2PC tail
+    #: under sync_2pc, only the quorum check under async_quorum.
+    ack_latencies: list[float] = dataclasses.field(default_factory=list)
+    #: Final-decision notifications lost to a participant (previously
+    #: swallowed silently); recovery marks cover each miss, but an
+    #: async-drain backlog must be observable, not invisible.
+    commit_ack_lost: int = 0
+    abort_ack_lost: int = 0
+    async_commits: int = 0  # decisions taken under async_quorum
+    drains_spawned: int = 0
+    drains_completed: int = 0
 
 
 class TransactionManager:
@@ -88,6 +107,20 @@ class TransactionManager:
         #: Observers called with the finished Transaction after every
         #: commit or abort (tracing, experiment instrumentation).
         self.finish_hooks: list[typing.Callable[[Transaction], None]] = []
+        #: Observers called as ``hook(txn, acked_sites, lost_sites)``
+        #: when an async drain finishes (auditor coverage check).
+        self.drain_hooks: list[typing.Callable] = []
+        if config.commit_mode not in COMMIT_MODES:
+            raise ValueError(
+                f"unknown commit_mode {config.commit_mode!r}; one of {COMMIT_MODES}"
+            )
+        #: The commit seam (see :class:`repro.txn.strategy.CommitStrategy`).
+        #: User transactions use ``config.commit_mode``; control and
+        #: copier transactions always terminate synchronously.
+        self.commit_strategies: dict[str, CommitStrategy] = {
+            Sync2pcCommit.name: Sync2pcCommit(self),
+            AsyncQuorumCommit.name: AsyncQuorumCommit(self),
+        }
         self._active: set[str] = set()
         self._outcomes: dict[str, tuple[str, Version | None]] = {}
         site.rpc.register("tm.outcome", self._handle_outcome)
@@ -100,6 +133,11 @@ class TransactionManager:
     @property
     def rpc(self):
         return self.site.rpc
+
+    @property
+    def prepare_on_write(self) -> bool:
+        """Pipelined 2PC: user-transaction writes carry a prepare vote."""
+        return self.config.commit_mode == AsyncQuorumCommit.name
 
     # -- crash semantics ----------------------------------------------------
 
@@ -176,6 +214,11 @@ class TransactionManager:
                 self._abort_fire_and_forget(ctx, "crash-or-bug")
             raise
         yield from self._commit(ctx)
+        if kind is TxnKind.USER:
+            # The commit strategy has returned: this is the moment the
+            # client ack leaves, whatever the commit mode kept on the
+            # client path.
+            self.stats.ack_latencies.append(self.kernel.now - txn.start_time)
         return result
 
     # -- termination --------------------------------------------------------------
@@ -191,6 +234,10 @@ class TransactionManager:
                 ctx.release_site(site_id)
             return
 
+        strategy = self.commit_strategies[Sync2pcCommit.name]
+        if txn.kind is TxnKind.USER:
+            strategy = self.commit_strategies[self.config.commit_mode]
+
         obs = self.site.obs
         two_pc = None
         if obs.spans_on and txn.span is not None:
@@ -198,53 +245,129 @@ class TransactionManager:
                 "2pc", "2pc", self.site_id, parent=txn.span.span_id
             )
         try:
-            yield from self._commit_2pc(ctx, write_sites, read_only_sites, two_pc)
+            # Under async_quorum this returns at the decision (the span
+            # then measures time-to-decision; the drain has its own).
+            yield from strategy.commit(ctx, write_sites, read_only_sites, two_pc)
         finally:
             if two_pc is not None:
                 obs.spans.finish(two_pc, outcome=txn.status.value)
 
-    def _commit_2pc(
+    def decide_version(self, txn: Transaction) -> Version:
+        """The committed version under the active version policy."""
+        if self.version_policy == "timestamp":
+            return Version(txn.start_time, txn.seq, txn.seq)
+        return Version(self.kernel.now, next_commit_seq(), txn.seq)
+
+    def mark_missed(
+        self,
+        txn: Transaction,
+        lost_sites: typing.Iterable[int],
+        acked_sites: typing.Iterable[int],
+    ) -> None:
+        """Repair staleness knowledge after commit-ack loss.
+
+        A site that voted yes and then crashed before the COMMIT arrived
+        never applied the writes, yet the sites that did apply carry
+        write-time ``applied_sites`` naming it — their stale trackers
+        recorded nothing. The coordinator is the only party that saw the
+        loss, so it fans the ``(item, lost_site)`` pairs out to every
+        acked site (and its own); any one surviving entry is enough for
+        the lost site's recovery identification to mark the copy.
+        Fire-and-forget: the marks only need to land before that site's
+        recovery runs, which is bounded below by failure detection.
+        """
+        lost = sorted(set(lost_sites))
+        pairs = tuple(
+            (item, site_id)
+            for site_id in lost
+            for item in sorted(txn.written_items)
+            if site_id in self.catalog.sites_of(item)
+        )
+        if not pairs:
+            return
+        request = MarkMissedRequest(txn.txn_id, pairs)
+        for site_id in sorted(set(acked_sites) | {self.site_id}):
+            self.rpc.call(
+                site_id, "dm.mark_missed", request, span_parent=txn.span_id
+            )
+
+    # -- async drain (async_quorum commit mode) -------------------------------
+
+    def spawn_drain(
         self,
         ctx: TxnContext,
         write_sites: list[int],
         read_only_sites: list[int],
-        two_pc,
+        version: Version,
+    ) -> Process:
+        """Start the background apply stream for a decided transaction."""
+        self.stats.drains_spawned += 1
+        return self.site.spawn(
+            self._drain(ctx, write_sites, read_only_sites, version),
+            name=f"drain:{ctx.txn.txn_id}",
+        )
+
+    def _drain(
+        self,
+        ctx: TxnContext,
+        write_sites: list[int],
+        read_only_sites: list[int],
+        version: Version,
     ) -> typing.Generator:
+        """Apply a decided commit at every write site, off the client path.
+
+        Lagging sites are retried ``drain_retries`` times; a site still
+        unreachable after that is given up to recovery — its prepared
+        participation resolves through the coordinator's stable decision
+        record, and its copies catch up through the normal marks +
+        ``wal.ship`` transport. Every give-up increments
+        ``tm.commit_ack_lost``.
+        """
         txn = ctx.txn
-        span_parent = two_pc.span_id if two_pc is not None else None
-        prepare = PrepareRequest(txn_id=txn.txn_id, participants=tuple(write_sites))
-        votes = self.rpc.call_many(
-            write_sites, "dm.prepare", prepare, timeout=self.config.rpc_timeout,
-            span_parent=span_parent,
-        )
-        all_yes = True
-        for _site_id, future in votes:
-            try:
-                vote = yield future
-            except (NetworkError, TransactionError):
-                vote = False
-            all_yes = all_yes and bool(vote)
-
-        if not all_yes:
-            yield from self._abort(ctx, TransactionError("prepare phase failed"))
-            raise TransactionAborted(txn.txn_id, "prepare-failed")
-
-        if self.version_policy == "timestamp":
-            version = Version(txn.start_time, txn.seq, txn.seq)
-        else:
-            version = Version(self.kernel.now, next_commit_seq(), txn.seq)
-        self._finish(txn, TxnStatus.COMMITTED, version)
-        acks = self.rpc.call_many(
-            write_sites, "dm.commit", CommitRequest(txn.txn_id, version),
-            timeout=self.config.rpc_timeout, span_parent=span_parent,
-        )
-        for site_id in read_only_sites:
-            ctx.release_site(site_id)
-        for _site_id, future in acks:
-            try:
-                yield future
-            except (NetworkError, TransactionError):
-                pass  # decision is final; recovery marks cover the miss
+        obs = self.site.obs
+        span = None
+        if obs.spans_on:
+            span = obs.spans.start(
+                "drain", "drain", self.site_id,
+                parent=txn.span_id, txn_id=txn.txn_id,
+            )
+        span_parent = span.span_id if span is not None else None
+        request = CommitRequest(txn.txn_id, version)
+        remaining = list(write_sites)
+        acked: list[int] = []
+        try:
+            for site_id in read_only_sites:
+                ctx.release_site(site_id)
+            attempts = self.config.drain_retries + 1
+            for attempt in range(attempts):
+                acks = self.rpc.call_many(
+                    remaining, "dm.commit", request,
+                    timeout=self.config.rpc_timeout, span_parent=span_parent,
+                )
+                failed: list[int] = []
+                for site_id, future in acks:
+                    try:
+                        yield future
+                        acked.append(site_id)
+                    except (NetworkError, TransactionError):
+                        failed.append(site_id)
+                remaining = failed
+                if not remaining:
+                    break
+                if attempt + 1 < attempts:
+                    yield self.kernel.timeout(self.config.drain_retry_delay)
+            self.stats.commit_ack_lost += len(remaining)
+            if remaining:
+                self.mark_missed(txn, remaining, acked)
+            self.stats.drains_completed += 1
+            for hook in list(self.drain_hooks):
+                hook(txn, tuple(acked), tuple(remaining))
+        finally:
+            # Also runs when the coordinator crashes mid-drain: the span
+            # closes, and the participants finish via in-doubt
+            # resolution against the stable decision record.
+            if span is not None:
+                obs.spans.finish(span, acked=len(acked), lost=len(remaining))
 
     def _abort(self, ctx: TxnContext, cause: BaseException) -> typing.Generator:
         txn = ctx.txn
@@ -257,7 +380,9 @@ class TransactionManager:
             try:
                 yield future
             except (NetworkError, TransactionError):
-                pass
+                # Presumed abort keeps the miss safe (the participant
+                # re-derives "aborted"), but count it for observability.
+                self.stats.abort_ack_lost += 1
         return None
 
     def _abort_fire_and_forget(self, ctx: TxnContext, reason: str) -> None:

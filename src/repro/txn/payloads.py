@@ -94,6 +94,13 @@ class WriteRequest:
     missed_sites: tuple[int, ...] = ()
     """Resident sites the writer skipped because they were nominally down;
     their copies miss this update (fail-locks / missing-list entries)."""
+    prepare: bool = False
+    """Pipelined 2PC (``async_quorum``): the write ack doubles as a
+    prepare vote — the DM durably journals the intent (WAL prepare
+    record, group-committed on a kernel microtask) and marks its
+    participation prepared, so commit needs no separate prepare round.
+    ``applied_sites`` then also names the participant set for
+    cooperative termination."""
 
     @property
     def wire_size(self) -> int:
@@ -103,6 +110,7 @@ class WriteRequest:
             + 8  # the value, modeled as one word
             + 8 * (len(self.applied_sites) + len(self.missed_sites))
             + (16 if self.version_override is not None else 0)
+            + (1 if self.prepare else 0)
         )
 
 
@@ -128,6 +136,28 @@ class CommitRequest:
     @property
     def wire_size(self) -> int:
         return _HEADER_BYTES + 16
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class MarkMissedRequest:
+    """Coordinator's staleness correction after commit-ack loss
+    (``dm.mark_missed``).
+
+    When a write site never acks the COMMIT (it crashed in the window
+    between its yes-vote and the apply), the sites that *did* apply
+    believe the write landed everywhere — their write-time
+    ``applied_sites`` included the now-crashed site. Only the
+    coordinator observes the loss, so it fans these ``(item, site)``
+    pairs to the acked sites; their stale trackers record the miss and
+    the crashed site's recovery marks the copy unreadable.
+    """
+
+    txn_id: str
+    pairs: tuple[tuple[str, int], ...]
+
+    @property
+    def wire_size(self) -> int:
+        return _HEADER_BYTES + sum(len(item) + 8 for item, _site in self.pairs)
 
 
 @dataclasses.dataclass(frozen=True, slots=True)

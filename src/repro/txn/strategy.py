@@ -40,3 +40,31 @@ class ReplicationStrategy(typing.Protocol):
     def write(self, ctx: "TxnContext", item: str, value: object) -> typing.Generator:
         """Interpret logical WRITE; raises to abort on failure."""
         ...  # pragma: no cover - protocol
+
+
+class CommitStrategy(typing.Protocol):
+    """How a TM terminates a writing transaction (the commit seam).
+
+    Orthogonal to the replication strategy: the replication strategy
+    decides *where* logical operations land, the commit strategy decides
+    *when the client is acked* relative to the 2PC rounds. Two
+    implementations live in :mod:`repro.txn.commit` — ``sync_2pc``
+    (prepare round, commit round, then ack) and ``async_quorum``
+    (pipelined prepare on write; ack at the decision, applies drained
+    asynchronously). Selected by ``TxnConfig.commit_mode``; control and
+    copier transactions always terminate synchronously.
+    """
+
+    name: str
+
+    def commit(
+        self,
+        ctx: "TxnContext",
+        write_sites: list[int],
+        read_only_sites: list[int],
+        span,
+    ) -> typing.Generator:
+        """Drive 2PC for ``ctx.txn`` over ``write_sites``; returns once
+        the client may be acked. Raises
+        :class:`~repro.errors.TransactionAborted` on a failed commit."""
+        ...  # pragma: no cover - protocol

@@ -78,6 +78,19 @@ class Transaction:
     logical_writes: list[tuple[str, tuple[int, ...]]] = dataclasses.field(
         default_factory=list, repr=False
     )
+    #: Logical items this transaction wrote (input to the quorum rule).
+    written_items: set[str] = dataclasses.field(default_factory=set)
+    #: Sites whose DM holds a prepared participation for this txn. Under
+    #: ``async_quorum`` every write ack doubles as a prepare ack
+    #: (pipelined 2PC), so this fills during the write-all round.
+    prepared_sites: set[int] = dataclasses.field(default_factory=set)
+    #: Commit mode this transaction was decided under ("sync_2pc" /
+    #: "async_quorum"); None until the commit point. Auditors key the
+    #: quorum checks off this.
+    commit_mode: str | None = None
+    #: The majority threshold the async decision was gated on (0 for
+    #: sync commits); recorded for the ``quorum.majority`` audit check.
+    quorum_needed: int = 0
     #: Root observability span (repro.obs.spans.Span) when tracing is on.
     span: typing.Any = dataclasses.field(default=None, repr=False)
 

@@ -101,6 +101,13 @@ class RedoLog:
         version=None,
         session: int | None = None,
         session_started_at: float | None = None,
+        txn_id: str | None = None,
+        txn_seq: int = 0,
+        coordinator: int | None = None,
+        participants: tuple[int, ...] = (),
+        applied_sites: tuple[int, ...] = (),
+        missed_sites: tuple[int, ...] = (),
+        outcome: str | None = None,
     ) -> LogRecord:
         """Append one record to the volatile tail; durable at next flush."""
         record = LogRecord(
@@ -111,6 +118,13 @@ class RedoLog:
             version=version,
             session=session,
             session_started_at=session_started_at,
+            txn_id=txn_id,
+            txn_seq=txn_seq,
+            coordinator=coordinator,
+            participants=participants,
+            applied_sites=applied_sites,
+            missed_sites=missed_sites,
+            outcome=outcome,
         )
         self.next_lsn += 1
         if kind == "write" and version is not None:

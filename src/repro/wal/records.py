@@ -10,10 +10,18 @@ site's copy store:
   timestamp ordering), so a restart preserves §3.4's readability state;
 * ``"session"`` — a session-number event (reservation or activation),
   making session state recoverable from the log alone.
+* ``"prepare"`` — a durably prepared write intent under the
+  ``async_quorum`` commit mode: the buffered value plus enough 2PC
+  context (coordinator, participant set) to re-arm the participation as
+  *in-doubt* after a crash and resolve it cooperatively;
+* ``"resolve"`` — the observed decision for a previously prepared
+  transaction; a restart treats prepares without a matching resolve as
+  in-doubt.
 
-Records are redo-only (no undo: only committed state is ever journaled,
-matching the repository's no-undo copy store) and totally ordered per
-site by ``lsn``.
+Records are redo-only (no undo for committed state: only committed
+copy mutations are journaled as ``"write"``; a prepare record journals
+an *intent*, which replay re-arms rather than applies) and totally
+ordered per site by ``lsn``.
 """
 
 from __future__ import annotations
@@ -32,18 +40,28 @@ class LogRecord:
     """One redo record. ``lsn`` is site-local and strictly increasing."""
 
     lsn: int
-    kind: str  # "write" | "mark" | "clear" | "session"
+    kind: str  # "write" | "mark" | "clear" | "session" | "prepare" | "resolve"
     item: str | None = None
     value: object = None
     version: Version | None = None
     session: int | None = None
     session_started_at: float | None = None
+    # 2PC context, populated on "prepare"/"resolve" records only. The
+    # version field doubles as the intent's version_override; item and
+    # value carry the buffered write itself.
+    txn_id: str | None = None
+    txn_seq: int = 0
+    coordinator: int | None = None
+    participants: tuple[int, ...] = ()
+    applied_sites: tuple[int, ...] = ()
+    missed_sites: tuple[int, ...] = ()
+    outcome: str | None = None  # "committed" | "aborted" on "resolve"
 
     @property
     def wire_size(self) -> int:
         """Nominal serialized size (one word per number, 1 B/char names)."""
         size = _RECORD_HEADER_BYTES + len(self.item or "")
-        if self.kind == "write":
+        if self.kind in ("write", "prepare"):
             size += 8  # the value, modeled as one word
         if self.version is not None:
             size += 16
@@ -51,4 +69,13 @@ class LogRecord:
             size += 8
         if self.session_started_at is not None:
             size += 8
+        if self.txn_id is not None:
+            size += len(self.txn_id) + 8
+        size += 8 * (
+            len(self.participants)
+            + len(self.applied_sites)
+            + len(self.missed_sites)
+        )
+        if self.outcome is not None:
+            size += 1
         return size

@@ -13,6 +13,14 @@ The peer refuses (``truncated=True``) when it has truncated any write
 record the requester might need (``after_commit <=
 truncated_max_commit``): the stream would silently skip updates, so the
 requester must fall back to per-item copy.
+
+This transport is also how the ``async_quorum`` commit mode covers its
+lagging copies: a drained site that missed its asynchronous apply (it
+crashed, or lost the commit ack) recovers the committed write from a
+peer's log exactly as it recovers any other missed update. The stream
+carries only ``"write"`` records — ``"prepare"``/``"resolve"`` records
+are a site-local matter (in-doubt re-arming) and are filtered out by the
+serving side along with session records.
 """
 
 from __future__ import annotations

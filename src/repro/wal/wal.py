@@ -27,8 +27,10 @@ from __future__ import annotations
 import dataclasses
 import typing
 
+from repro.sim.events import Future
 from repro.wal.config import WalConfig
 from repro.wal.log import CHECKPOINT_KEY, RedoLog
+from repro.wal.records import LogRecord
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.site.site import Site
@@ -51,6 +53,8 @@ class WalStats:
     replays: int = 0  # restarts that went through checkpoint + replay
     records_replayed: int = 0
     records_lost_unflushed: int = 0  # volatile tail dropped by crashes
+    prepares_logged: int = 0  # durable prepare intents (async_quorum)
+    in_doubt_restored: int = 0  # prepares re-armed as in-doubt at restore
 
 
 @dataclasses.dataclass
@@ -63,6 +67,7 @@ class RestoreResult:
     high_commit: int  # max commit seq durably known at this site
     session_last: int
     session_started_at: float | None
+    in_doubt: int = 0  # prepared-undecided transactions re-armed
 
 
 class SiteWal:
@@ -86,6 +91,12 @@ class SiteWal:
         #: auditor is attached.
         self.flush_hooks: list[typing.Callable[[], None]] = []
         self.checkpoint_hooks: list[typing.Callable[[], None]] = []
+        #: Durable-but-undecided prepare records, by transaction. Mirrors
+        #: the durable log (kept exact at checkpoint time, when the
+        #: buffer is flushed first) so checkpoints can carry in-doubt
+        #: state across log truncation.
+        self._unresolved: dict[str, list[LogRecord]] = {}
+        self._flush_soon: Future | None = None
         site.copies.journal = self._journal
         site.crash_hooks.append(self._on_crash)
 
@@ -102,6 +113,82 @@ class SiteWal:
         self.log.append("session", session=session, session_started_at=started_at)
         self.stats.records_appended += 1
         self.flush()
+
+    # -- durable prepares (async_quorum commit mode) ---------------------------
+
+    def log_prepare(
+        self,
+        txn_id: str,
+        txn_seq: int,
+        coordinator: int,
+        participants: tuple[int, ...],
+        item: str,
+        value: object,
+        version_override=None,
+        applied_sites: tuple[int, ...] = (),
+        missed_sites: tuple[int, ...] = (),
+    ) -> LogRecord:
+        """Journal one prepared write intent (durable at the next flush).
+
+        Callers group-commit via :meth:`flush_soon`, so concurrent
+        prepares landing in the same kernel timestep share one stable
+        segment write.
+        """
+        record = self.log.append(
+            "prepare",
+            item=item,
+            value=value,
+            version=version_override,
+            txn_id=txn_id,
+            txn_seq=txn_seq,
+            coordinator=coordinator,
+            participants=participants,
+            applied_sites=applied_sites,
+            missed_sites=missed_sites,
+        )
+        self.stats.records_appended += 1
+        self.stats.prepares_logged += 1
+        self._unresolved.setdefault(txn_id, []).append(record)
+        return record
+
+    def log_resolve(self, txn_id: str, outcome: str) -> None:
+        """Journal the decision for a prepared transaction.
+
+        Lazy durability: the record rides the next group commit (for a
+        commit, the apply's own ``on_commit`` flush). Losing an
+        unflushed resolve merely re-arms the transaction as in-doubt at
+        restart, and resolution is idempotent.
+        """
+        if self._unresolved.pop(txn_id, None) is None:
+            return  # never durably prepared here — nothing to resolve
+        self.log.append("resolve", txn_id=txn_id, outcome=outcome)
+        self.stats.records_appended += 1
+
+    def unresolved_prepares(self) -> dict[str, tuple[LogRecord, ...]]:
+        """Durably prepared, undecided transactions (restart re-arming)."""
+        return {txn: tuple(records) for txn, records in self._unresolved.items()}
+
+    def flush_soon(self) -> Future:
+        """A future that succeeds once the current tail is group-committed.
+
+        All callers within one kernel timestep share a single flush (and
+        thus one stable segment write) on a kernel microtask — the
+        group-commit path for pipelined prepares, costing no simulated
+        time.
+        """
+        future = self._flush_soon
+        if future is None:
+            future = Future(self.site.kernel, name=f"wal.flush@{self.site.site_id}")
+            self._flush_soon = future
+            self.site.kernel.call_soon(self._run_flush_soon)
+        return future
+
+    def _run_flush_soon(self) -> None:
+        future, self._flush_soon = self._flush_soon, None
+        if future is None:  # pragma: no cover - defensive
+            return
+        self.flush()
+        future.succeed()
 
     # -- group commit ----------------------------------------------------------
 
@@ -156,6 +243,12 @@ class SiteWal:
                 "items": items,
                 "session_last": stable.get(_SESSION_KEY, 0),
                 "session_started_at": stable.get(_SESSION_STARTED),
+                # In-doubt prepares survive log truncation through the
+                # image (the flush above made _unresolved exact).
+                "in_doubt": {
+                    txn: tuple(records)
+                    for txn, records in self._unresolved.items()
+                },
             },
         )
         self.last_checkpoint_lsn = checkpoint_lsn
@@ -200,6 +293,10 @@ class SiteWal:
             session_last = checkpoint["session_last"]
             session_started = checkpoint["session_started_at"]
             high_commit = checkpoint["high_commit"]
+            unresolved: dict[str, list[LogRecord]] = {
+                txn: list(records)
+                for txn, records in checkpoint.get("in_doubt", {}).items()
+            }
             replayed = 0
             for record in self.log.records_after(checkpoint["lsn"]):
                 replayed += 1
@@ -217,6 +314,12 @@ class SiteWal:
                     session_last = record.session
                     if record.session_started_at is not None:
                         session_started = record.session_started_at
+                elif record.kind == "prepare":
+                    unresolved.setdefault(record.txn_id, []).append(record)
+                elif record.kind == "resolve":
+                    unresolved.pop(record.txn_id, None)
+            self._unresolved = unresolved
+            self.stats.in_doubt_restored += len(unresolved)
             stable.put(_SESSION_KEY, session_last)
             stable.put(_SESSION_STARTED, session_started)
         finally:
@@ -235,6 +338,7 @@ class SiteWal:
             high_commit=high_commit,
             session_last=session_last,
             session_started_at=session_started,
+            in_doubt=len(self._unresolved),
         )
 
     # -- crash -----------------------------------------------------------------
@@ -242,3 +346,13 @@ class SiteWal:
     def _on_crash(self) -> None:
         lost = self.log.discard_unflushed()
         self.stats.records_lost_unflushed += lost
+        if lost and self._unresolved:
+            # Prepares in the dropped volatile tail were never durable
+            # (their flush future gated the prepare ack, never sent).
+            durable = self.log.durable_lsn
+            for txn in list(self._unresolved):
+                kept = [r for r in self._unresolved[txn] if r.lsn <= durable]
+                if kept:
+                    self._unresolved[txn] = kept
+                else:
+                    del self._unresolved[txn]

@@ -106,9 +106,9 @@ class FailureSchedule:
         while next_action:
             next_action.sort()
             time, action, site_id = next_action.pop(0)
-            if time >= horizon:
-                break
             if action == "crash":
+                if time >= horizon:
+                    continue  # no new outages past the horizon
                 if sum(up.values()) <= min_up_sites:
                     # Postpone this crash until someone recovers.
                     next_action.append((time + mttr, "crash", site_id))
@@ -117,6 +117,13 @@ class FailureSchedule:
                 events.append(FailureEvent(time, "crash", site_id))
                 next_action.append((time + rng.expovariate(1.0 / mttr), "power_on", site_id))
             else:
+                # Repairs are emitted even past the horizon: every crash
+                # this schedule injects is eventually repaired (the
+                # paper's model — sites fail and *recover*). Dropping an
+                # owed repair used to leave a site down from early in
+                # the run until the experiment's quiesce, which reads as
+                # a permanent site loss, not an outage — and wedges any
+                # in-doubt 2PC participant whose coordinator it was.
                 up[site_id] = True
                 events.append(FailureEvent(time, "power_on", site_id))
                 next_action.append((time + rng.expovariate(1.0 / mtbf), "crash", site_id))

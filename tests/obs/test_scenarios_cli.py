@@ -15,7 +15,9 @@ from repro.obs.scenarios import run_traced, scenario_names
 
 class TestScenarios:
     def test_all_experiments_have_scenarios(self):
-        assert scenario_names() == [f"e{n}" for n in range(1, 10)]
+        assert scenario_names() == sorted(
+            [f"e{n}" for n in range(1, 11)] + ["e10sync"]
+        )
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(ValueError, match="unknown experiment"):

@@ -94,3 +94,28 @@ class TestDetection:
         cluster.power_on_site(2)
         cluster.notify_recovered(2)
         assert cluster.detector(1).believes_up(2)
+
+    def test_up_callbacks_fire_once_per_transition(self, kernel, cluster):
+        events = []
+        cluster.detector(1).on_up(lambda sid: events.append(sid))
+        cluster.crash_site(2)
+        kernel.run(until=6)
+        assert events == []  # down transition is not an up transition
+        cluster.power_on_site(2)
+        cluster.notify_recovered(2)
+        assert events == [2]
+        cluster.notify_recovered(2)  # duplicate announcement: no re-fire
+        assert events == [2]
+
+    def test_up_callback_not_fired_for_never_suspected_site(self, kernel, cluster):
+        """Recovery before detection: the observer never saw the site
+        down, so there is no up *transition* to report."""
+        events = []
+        cluster.detector(1).on_up(lambda sid: events.append(sid))
+        cluster.crash_site(2)
+        kernel.run(until=2.0)  # under the 5.0 detection delay
+        cluster.power_on_site(2)
+        cluster.site(2).become_operational()
+        cluster.notify_recovered(2)
+        kernel.run(until=10.0)
+        assert events == []

@@ -78,3 +78,19 @@ class TestRandomFailures:
 
         assert build(5) == build(5)
         assert build(5) != build(6)
+
+    @pytest.mark.parametrize("seed", [5, 17, 23758])
+    def test_every_crash_is_eventually_repaired(self, seed):
+        """Repairs are emitted even past the horizon: a site that fails
+        and recovers is the paper's model, and dropping an owed repair
+        reads as permanent site loss (and wedges any in-doubt 2PC
+        participant whose coordinator it was)."""
+        schedule = FailureSchedule.random_failures(
+            [1, 2, 3], random.Random(seed), horizon=2000, mtbf=400, mttr=80
+        )
+        crashes = sum(1 for e in schedule if e.action == "crash")
+        repairs = sum(1 for e in schedule if e.action == "power_on")
+        assert crashes > 0
+        assert repairs == crashes
+        # No NEW outages start past the horizon, but owed repairs may land there.
+        assert all(e.time < 2000 for e in schedule if e.action == "crash")
