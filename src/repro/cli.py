@@ -9,6 +9,7 @@ Usage::
     python -m repro trace --experiment e2 --out trace.json [--jsonl spans.jsonl]
     python -m repro metrics --experiment e2 [--out metrics.json]
     python -m repro audit --experiment e2 [--out alerts.jsonl]
+    python -m repro latency --experiment e10 [--out budget.json] [--series ts.jsonl]
 
 Each experiment prints the table documented in EXPERIMENTS.md; ``small``
 scale finishes in a few seconds per experiment, ``full`` matches the
@@ -26,6 +27,17 @@ observability stream: ``trace`` writes a Chrome trace-event file for
 chrome://tracing or https://ui.perfetto.dev (plus optionally the raw
 JSONL stream), ``metrics`` a metrics-registry snapshot; both print the
 recovery-timeline report.
+
+``latency`` runs a traced scenario with the windowed time-series
+sampler on and prints the critical-path **latency budget**
+(:mod:`repro.obs.critpath`): end-to-end ack latency decomposed into
+lock wait / execution / WAL stall / network / prepare wait / decision
+broadcast, with p50/p99 and share-of-total per category, plus the
+per-outage throughput troughs (:mod:`repro.obs.timeseries`). For
+``--experiment e10`` it runs *both* commit modes (async fast path and
+the sync baseline) so the budget tables line up side by side;
+``--out`` saves the machine-readable JSON and ``--series`` the sampled
+time-series JSONL.
 
 ``audit`` runs the same traced scenario under the online protocol
 auditor (:mod:`repro.audit`): live 1-STG cycle detection, session
@@ -140,7 +152,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         help="experiment id (e1..e10), 'all', 'list', 'bench', 'trace', "
-        "'metrics', 'audit', or 'lint'",
+        "'metrics', 'audit', 'latency', or 'lint'",
     )
     parser.add_argument("--seed", type=int, default=3, help="master seed")
     parser.add_argument(
@@ -190,15 +202,26 @@ def build_parser() -> argparse.ArgumentParser:
         "standalone file (trace default: trace.json; audit default: "
         "alerts.jsonl)",
     )
-    # trace/metrics/audit-only options (ignored by the other subcommands).
+    # trace/metrics/audit/latency options (ignored by other subcommands).
     parser.add_argument(
         "--experiment", dest="scenario", default="e2", metavar="EID",
-        help="trace/metrics/audit: which experiment's traced scenario to "
-        "run (default: e2)",
+        help="trace/metrics/audit/latency: which experiment's traced "
+        "scenario to run (default: e2; latency runs both commit modes "
+        "for e10)",
     )
     parser.add_argument(
         "--jsonl", default=None, metavar="PATH",
         help="trace: also write the raw JSONL span/metric stream here",
+    )
+    parser.add_argument(
+        "--sample-period", type=float, default=None, metavar="T",
+        help="trace/latency: attach the windowed time-series sampler "
+        "with this period in sim-time units (latency default: 10)",
+    )
+    parser.add_argument(
+        "--series", default=None, metavar="PATH",
+        help="latency: write the sampled time series as JSONL here "
+        "(both modes appended for e10)",
     )
     # lint-only options (ignored by the other subcommands).
     parser.add_argument(
@@ -286,6 +309,12 @@ def run_bench(args: argparse.Namespace) -> int:
     overhead = bench.overhead_fraction(metrics)
     if overhead is not None:
         print(f"instrumentation_overhead: {overhead:.1%}")
+    sampled_overhead = bench.attribution_overhead_fraction(metrics)
+    if sampled_overhead is not None:
+        print(f"latency_attribution_overhead: {sampled_overhead:.1%}")
+        # Percent, not fraction: append_entry rounds metrics to one
+        # decimal, which would flatten a fraction to 0.0 or 0.1.
+        metrics["latency_attribution_overhead_pct"] = sampled_overhead * 100
 
     exit_code = 0
     if args.check:
@@ -305,6 +334,10 @@ def run_bench(args: argparse.Namespace) -> int:
                 exit_code = 1
         if overhead is not None and overhead > args.max_overhead:
             print(f"instrumentation overhead {overhead:.1%} exceeds "
+                  f"--max-overhead {args.max_overhead:.0%}  << REGRESSION")
+            exit_code = 1
+        if sampled_overhead is not None and sampled_overhead > args.max_overhead:
+            print(f"latency attribution overhead {sampled_overhead:.1%} exceeds "
                   f"--max-overhead {args.max_overhead:.0%}  << REGRESSION")
             exit_code = 1
     if not args.no_append:
@@ -329,7 +362,9 @@ def run_trace(args: argparse.Namespace) -> int:
     from repro.obs.scenarios import run_traced
 
     try:
-        run = run_traced(args.scenario, seed=args.seed)
+        run = run_traced(
+            args.scenario, seed=args.seed, sample_period=args.sample_period
+        )
     except ValueError as exc:
         print(f"trace: {exc}", file=sys.stderr)
         return 2
@@ -371,6 +406,72 @@ def run_metrics(args: argparse.Namespace) -> int:
         print(f"{name}: {snapshot['global'][name]}")
     print()
     print(render_recovery_timeline(recovery_timeline(run.system)))
+    return 0
+
+
+def run_latency(args: argparse.Namespace) -> int:
+    """The ``latency`` subcommand: critical-path budget + time series.
+
+    Runs the traced scenario with the windowed sampler attached, prints
+    the per-category latency budget and per-outage throughput troughs.
+    ``--experiment e10`` runs both commit modes (``e10`` async,
+    ``e10sync`` baseline) back to back on the same seed. Exit status:
+    0 on success, 2 on an unknown experiment name.
+    """
+    import json
+
+    from repro.obs.critpath import latency_budget, render_latency_budget
+    from repro.obs.scenarios import run_traced
+    from repro.obs.timeseries import (
+        export_series_jsonl,
+        outage_stats,
+        render_outage_stats,
+    )
+
+    period = args.sample_period if args.sample_period is not None else 10.0
+    scenarios = (
+        ["e10sync", "e10"] if args.scenario == "e10" else [args.scenario]
+    )
+    budgets: dict[str, dict] = {}
+    troughs: dict[str, dict] = {}
+    for index, scenario in enumerate(scenarios):
+        try:
+            run = run_traced(scenario, seed=args.seed, sample_period=period)
+        except ValueError as exc:
+            print(f"latency: {exc}", file=sys.stderr)
+            return 2
+        label = f"{scenario}@seed={args.seed}"
+        mode = run.summary.get("commit_mode")
+        print(f"== {scenario}" + (f" ({mode})" if mode else ""))
+        budget = latency_budget(run.obs)
+        budgets[scenario] = budget
+        print(render_latency_budget(budget))
+        sampler = run.obs.sampler
+        if sampler is not None and sampler.windows:
+            stats = outage_stats(sampler)
+            troughs[scenario] = stats
+            for line in render_outage_stats(stats):
+                print(line)
+            if args.series:
+                n_lines = export_series_jsonl(
+                    sampler, args.series, label=label, append=index > 0
+                )
+                print(f"{args.series}: +{n_lines} JSONL lines")
+        print()
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(
+                {
+                    "experiment": args.scenario,
+                    "seed": args.seed,
+                    "sample_period": period,
+                    "budgets": budgets,
+                    "throughput": troughs,
+                },
+                handle, indent=2, sort_keys=True,
+            )
+            handle.write("\n")
+        print(f"wrote latency budget to {args.out}")
     return 0
 
 
@@ -425,6 +526,8 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         return run_metrics(args)
     if name == "audit":
         return run_audit(args)
+    if name == "latency":
+        return run_latency(args)
     if name == "lint":
         from repro.lint.cli import run_lint
 

@@ -22,6 +22,7 @@ Trajectory schema::
           "metrics": {
             "kernel_events_per_s": 650000.0,
             "kernel_events_obs_off_per_s": 645000.0,
+            "kernel_events_sampled_per_s": 640000.0,
             "timeout_churn_per_s": 800000.0,
             "copier_refresh_per_s": 12.5,
             "copier_refresh_audited_per_s": 12.0,
@@ -120,6 +121,36 @@ def bench_kernel_events_obs_off(n: int = 10_000, repeats: int = 10) -> float:
             kernel.timeout(index % 97)
         kernel.run()
         assert obs.registry.snapshot()["global"]["kernel.events_processed"] > 0
+        return kernel.events_processed
+
+    return _best_of(run, repeats)
+
+
+def bench_kernel_events_sampled(n: int = 10_000, repeats: int = 10) -> float:
+    """The kernel-events workload with a *live* windowed sampler attached.
+
+    The time-series twin of :func:`bench_kernel_events_obs_off`: here the
+    sampler's periodic timer is actually running (one callback per period
+    reading a probe), which is everything the ``repro latency`` tooling
+    adds to a simulation — critical-path attribution itself is pure
+    post-processing over already-recorded spans. The gap against
+    :func:`bench_kernel_events` is the ``latency_attribution_overhead``
+    that ``--check`` bounds under the same <5% gate as the rest of the
+    observability layer.
+    """
+    from repro.obs.timeseries import WindowedSampler
+
+    def run() -> int:
+        kernel = Kernel(seed=0)
+        sampler = WindowedSampler(kernel, period=5.0)
+        sampler.add_delta("ts.events", lambda: float(kernel.events_processed))
+        for index in range(n):
+            kernel.timeout(index % 97)
+        sampler.start()
+        kernel.run(until=97.0)  # the last staggered timeout fires at 96
+        sampler.stop()
+        kernel.run()
+        assert sampler.windows >= 19  # the timer genuinely ticked
         return kernel.events_processed
 
     return _best_of(run, repeats)
@@ -308,6 +339,21 @@ def overhead_fraction(metrics: dict) -> float | None:
     return max(0.0, 1.0 - with_obs / plain)
 
 
+def attribution_overhead_fraction(metrics: dict) -> float | None:
+    """Live-sampler overhead on the kernel-events bench.
+
+    ``1 - sampled/plain``: the fraction of kernel event throughput lost
+    to a running :class:`~repro.obs.timeseries.WindowedSampler` timer —
+    the cost of the ``repro latency`` telemetry when it is switched on.
+    Clamped at 0; ``None`` when either metric is missing.
+    """
+    plain = metrics.get("kernel_events_per_s")
+    sampled = metrics.get("kernel_events_sampled_per_s")
+    if not plain or not sampled:
+        return None
+    return max(0.0, 1.0 - sampled / plain)
+
+
 def run_suite(quick: bool = False, snapshots: dict | None = None) -> dict:
     """Run every microbench; returns ``{metric: value}``.
 
@@ -335,6 +381,9 @@ def run_suite(quick: bool = False, snapshots: dict | None = None) -> dict:
             "kernel_events_obs_off_per_s": bench_kernel_events_obs_off(
                 n=4_000, repeats=3
             ),
+            "kernel_events_sampled_per_s": bench_kernel_events_sampled(
+                n=4_000, repeats=3
+            ),
             "timeout_churn_per_s": bench_timeout_churn(n=4_000, repeats=3),
             "copier_refresh_per_s": bench_copier_refresh(
                 n_items=8, repeats=1, snapshots=snapshots
@@ -347,6 +396,7 @@ def run_suite(quick: bool = False, snapshots: dict | None = None) -> dict:
     return {
         "kernel_events_per_s": bench_kernel_events(),
         "kernel_events_obs_off_per_s": bench_kernel_events_obs_off(),
+        "kernel_events_sampled_per_s": bench_kernel_events_sampled(),
         "timeout_churn_per_s": bench_timeout_churn(),
         "copier_refresh_per_s": bench_copier_refresh(snapshots=snapshots),
         "copier_refresh_audited_per_s": bench_copier_refresh(audit=True),

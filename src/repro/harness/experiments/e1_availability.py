@@ -141,7 +141,9 @@ def _one_cell(scheme, seed, n_sites, replication, spec, failed, load_duration):
     return readers.stats.availability, writers.stats.availability, refused
 
 
-def traced_scenario(seed: int = 0, audit: bool = False):
+def traced_scenario(
+    seed: int = 0, audit: bool = False, sample_period: float | None = None
+):
     """One traced cell for ``repro trace``: one crashed site, mixed load.
 
     Mirrors the one-failed-site cell of the grid on a small
@@ -155,7 +157,7 @@ def traced_scenario(seed: int = 0, audit: bool = False):
     kernel, system, obs = build_traced_scheme(
         "rowaa", cell_seed("e1-trace", seed), n_sites, spec.initial_items(),
         catalog=catalog,
-        audit=audit,
+        audit=audit, sample_period=sample_period,
     )
     system.crash(n_sites)
     settle(kernel, system, 80.0)

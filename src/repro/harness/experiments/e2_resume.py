@@ -134,7 +134,9 @@ def _caught_up_time(kernel, system, scheme, victim, power_at):
     return kernel.now - power_at
 
 
-def traced_scenario(seed: int = 0, audit: bool = False):
+def traced_scenario(
+    seed: int = 0, audit: bool = False, sample_period: float | None = None
+):
     """One traced rowaa cell for ``repro trace``: crash, miss, reboot, drain.
 
     The canonical observability scenario: its span tree contains user
@@ -145,7 +147,8 @@ def traced_scenario(seed: int = 0, audit: bool = False):
     n_sites, n_items, missed = 3, 8, 6
     spec = WorkloadSpec(n_items=n_items)
     kernel, system, obs = build_traced_scheme(
-        "rowaa", seed * 37 + missed, n_sites, spec.initial_items(), audit=audit
+        "rowaa", seed * 37 + missed, n_sites, spec.initial_items(),
+        audit=audit, sample_period=sample_period,
     )
     victim = n_sites
     system.crash(victim)

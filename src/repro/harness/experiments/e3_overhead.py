@@ -135,7 +135,9 @@ def _one_cell(scheme, seed, n_sites, n_items, load_duration, n_clients):
     }
 
 
-def traced_scenario(seed: int = 0, audit: bool = False):
+def traced_scenario(
+    seed: int = 0, audit: bool = False, sample_period: float | None = None
+):
     """One traced failure-free cell for ``repro trace``.
 
     No crashes: the trace shows the steady-state shape of the protocol —
@@ -145,7 +147,8 @@ def traced_scenario(seed: int = 0, audit: bool = False):
     n_sites, n_items = 3, 12
     spec = WorkloadSpec(n_items=n_items, ops_per_txn=3, write_fraction=0.3)
     kernel, system, obs = build_traced_scheme(
-        "rowaa", seed * 13 + n_sites, n_sites, spec.initial_items(), audit=audit
+        "rowaa", seed * 13 + n_sites, n_sites, spec.initial_items(),
+        audit=audit, sample_period=sample_period,
     )
     rng = random.Random(seed + n_sites)
     pool = ClientPool(

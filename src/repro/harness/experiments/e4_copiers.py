@@ -141,7 +141,9 @@ def _one_cell(seed, n_sites, n_items, stale_fraction, read_duration, mode):
     }
 
 
-def traced_scenario(seed: int = 0, audit: bool = False):
+def traced_scenario(
+    seed: int = 0, audit: bool = False, sample_period: float | None = None
+):
     """One traced eager-copier cell for ``repro trace``.
 
     Half the items go stale during the outage; read load lands on the
@@ -153,7 +155,7 @@ def traced_scenario(seed: int = 0, audit: bool = False):
     kernel, system, obs = build_traced_scheme(
         "rowaa", cell_seed("e4-trace", seed), n_sites, spec.initial_items(),
         rowaa_config=RowaaConfig(copier_mode="eager", unreadable_policy="redirect"),
-        audit=audit,
+        audit=audit, sample_period=sample_period,
     )
     victim = n_sites
     system.crash(victim)

@@ -123,7 +123,9 @@ def _one_cell(seed, n_sites, n_items, fraction, policy):
     }
 
 
-def traced_scenario(seed: int = 0, audit: bool = False):
+def traced_scenario(
+    seed: int = 0, audit: bool = False, sample_period: float | None = None
+):
     """One traced mark-all identification cell for ``repro trace``.
 
     Half the items were updated during the outage; the recovery marks
@@ -136,7 +138,7 @@ def traced_scenario(seed: int = 0, audit: bool = False):
     kernel, system, obs = build_traced_scheme(
         "rowaa", cell_seed("e5-trace", seed), n_sites, spec.initial_items(),
         rowaa_config=RowaaConfig(copier_mode="eager", identify_mode="mark-all"),
-        audit=audit,
+        audit=audit, sample_period=sample_period,
     )
     victim = n_sites
     system.crash(victim)

@@ -156,7 +156,9 @@ def _one_trial(scenario, seed, n_sites, n_items):
     return system.recovery_records()
 
 
-def traced_scenario(seed: int = 0, audit: bool = False):
+def traced_scenario(
+    seed: int = 0, audit: bool = False, sample_period: float | None = None
+):
     """One traced crash-during-t1 trial for ``repro trace``.
 
     A second site crashes inside the recovery window, forcing the §3.4
@@ -166,7 +168,8 @@ def traced_scenario(seed: int = 0, audit: bool = False):
     n_sites, n_items = 4, 8
     spec = WorkloadSpec(n_items=n_items)
     kernel, system, obs = build_traced_scheme(
-        "rowaa", seed, n_sites, spec.initial_items(), audit=audit
+        "rowaa", seed, n_sites, spec.initial_items(),
+        audit=audit, sample_period=sample_period,
     )
     rng = random.Random(seed)
     system.crash(n_sites)

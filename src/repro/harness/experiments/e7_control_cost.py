@@ -108,7 +108,9 @@ def _one_cell(scheme, seed, n_sites, n_items):
     return {"status_txns": status_txns, "remote_messages": messages}
 
 
-def traced_scenario(seed: int = 0, audit: bool = False):
+def traced_scenario(
+    seed: int = 0, audit: bool = False, sample_period: float | None = None
+):
     """One traced quiet crash/reboot cycle for ``repro trace``.
 
     Nothing is updated during the outage, so the trace isolates the pure
@@ -118,7 +120,8 @@ def traced_scenario(seed: int = 0, audit: bool = False):
     n_sites, n_items = 3, 8
     spec = WorkloadSpec(n_items=n_items)
     kernel, system, obs = build_traced_scheme(
-        "rowaa", seed * 53 + n_items, n_sites, spec.initial_items(), audit=audit
+        "rowaa", seed * 53 + n_items, n_sites, spec.initial_items(),
+        audit=audit, sample_period=sample_period,
     )
     baseline_msgs = system.cluster.network.stats.sent
     victim = n_sites

@@ -136,7 +136,9 @@ def _one_run(scheme, seed, n_sites, n_items, duration):
     return system.recorder, pool.stats.committed
 
 
-def traced_scenario(seed: int = 0, audit: bool = False):
+def traced_scenario(
+    seed: int = 0, audit: bool = False, sample_period: float | None = None
+):
     """One traced randomized crash/recovery run for ``repro trace``.
 
     The full Theorem-3 setting in miniature: clients on every site,
@@ -148,7 +150,8 @@ def traced_scenario(seed: int = 0, audit: bool = False):
         n_items=n_items, ops_per_txn=3, write_fraction=0.5, zipf_s=0.5
     )
     kernel, system, obs = build_traced_scheme(
-        "rowaa", seed, n_sites, spec.initial_items(), audit=audit
+        "rowaa", seed, n_sites, spec.initial_items(),
+        audit=audit, sample_period=sample_period,
     )
     rngs = RngRegistry(seed)
     schedule = FailureSchedule.random_failures(

@@ -191,7 +191,9 @@ def _one_cell(seed, n_sites, n_items, missed, mode, truncate):
     return _summarise(kernel, system, victim, power_at, net_bytes, n_items)
 
 
-def traced_scenario(seed: int = 0, audit: bool = False):
+def traced_scenario(
+    seed: int = 0, audit: bool = False, sample_period: float | None = None
+):
     """One traced log-shipping recovery for ``repro trace``.
 
     The trace shows the wal.ship RPC pages, the copier-kind apply
@@ -204,7 +206,7 @@ def traced_scenario(seed: int = 0, audit: bool = False):
         rowaa_config=RowaaConfig(
             copier_mode="eager", catchup_mode="log_ship", log_ship_batch=4
         ),
-        audit=audit,
+        audit=audit, sample_period=sample_period,
     )
     victim = n_sites
     system.crash(victim)

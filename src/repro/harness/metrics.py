@@ -2,34 +2,23 @@
 
 from __future__ import annotations
 
-import math
 import typing
 
+from repro.obs.metrics import percentile
 from repro.system import DatabaseSystem
+
+__all__ = [
+    "mean",
+    "network_totals",
+    "obs_snapshot",
+    "percentile",  # canonical half-up helper, re-exported from repro.obs.metrics
+    "tm_totals",
+]
 
 
 def mean(values: typing.Sequence[float]) -> float:
     """Arithmetic mean; 0.0 for an empty sequence."""
     return sum(values) / len(values) if values else 0.0
-
-
-def percentile(values: typing.Sequence[float], p: float) -> float:
-    """Nearest-rank percentile (p in [0, 100]); 0.0 for empty input.
-
-    The rank is ``floor(x + 0.5)`` rather than ``round(x)``: built-in
-    ``round`` uses banker's rounding, under which the p50 of two elements
-    lands on index 0 (0.5 rounds to 0) — half-up makes .5 ties resolve
-    to the upper neighbour consistently on every Python build.
-    """
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    if p <= 0:
-        return ordered[0]
-    if p >= 100:
-        return ordered[-1]
-    rank = int(math.floor(p / 100 * (len(ordered) - 1) + 0.5))
-    return ordered[max(0, min(len(ordered) - 1, rank))]
 
 
 def tm_totals(system: DatabaseSystem) -> dict:

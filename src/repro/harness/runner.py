@@ -67,6 +67,7 @@ def build_traced_scheme(
     catalog: Catalog | None = None,
     txn_config: TxnConfig | None = None,
     audit: bool = False,
+    sample_period: float | None = None,
     **kwargs: typing.Any,
 ) -> tuple[Kernel, DatabaseSystem, Observability]:
     """Like :func:`build_scheme`, but with spans + timeline recording on.
@@ -76,7 +77,10 @@ def build_traced_scheme(
     instants, and metrics registry for export after the scenario runs.
     With ``audit=True`` (``repro audit``) a
     :class:`~repro.audit.ProtocolAuditor` is attached before any load
-    runs; its alert log rides on ``obs.audit``.
+    runs; its alert log rides on ``obs.audit``. With ``sample_period``
+    set, a windowed time-series sampler
+    (:func:`repro.obs.timeseries.attach_sampler`) ticks at that period
+    from boot; it rides on ``obs.sampler``.
     """
     kernel = Kernel(seed=seed)
     obs = Observability(kernel, spans=True, timeline=True)
@@ -96,6 +100,10 @@ def build_traced_scheme(
         from repro.audit import attach_auditor
 
         attach_auditor(system)
+    if sample_period is not None:
+        from repro.obs.timeseries import attach_sampler
+
+        attach_sampler(system, sample_period)
     return kernel, system, obs
 
 
@@ -141,3 +149,7 @@ def quiesce(kernel: Kernel, system: DatabaseSystem, grace: float = 500.0) -> Non
     kernel.run(until=kernel.now + grace)
     system.stop()
     kernel.run(until=kernel.now + 10)
+    # Span hygiene: anything still open at the horizon (an in-flight
+    # drain, a 2PC blocked past the grace window) is closed and tagged
+    # truncated=True rather than dropped from the exports.
+    system.obs.spans.finish_open()

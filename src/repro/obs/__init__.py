@@ -61,6 +61,11 @@ class Observability:
         #: The attached protocol auditor (repro.audit), or None. Hot
         #: paths only ever test this for None-ness.
         self.audit: typing.Any = None
+        #: The attached windowed time-series sampler
+        #: (:func:`repro.obs.timeseries.attach_sampler`), or None. Off by
+        #: default; exporters and the recovery-timeline report pick it up
+        #: when present.
+        self.sampler: typing.Any = None
 
     @property
     def spans_on(self) -> bool:

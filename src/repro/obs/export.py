@@ -4,11 +4,14 @@ Two output formats:
 
 * **JSONL** — one JSON object per line: a ``meta`` header, then every
   span (``"type": "span"``) and timeline instant (``"type": "instant"``),
-  then one ``"type": "metrics"`` line with the registry snapshot. Easy to
-  grep and to post-process with jq/pandas.
+  any windowed time series (``"type": "series"``, when a sampler is
+  attached), then one ``"type": "metrics"`` line with the registry
+  snapshot. Easy to grep and to post-process with jq/pandas.
 * **Chrome trace-event JSON** — loadable in ``chrome://tracing`` or
   https://ui.perfetto.dev. Spans become complete (``"ph": "X"``) events,
-  instants become instant (``"ph": "i"``) events. One simulated time unit
+  instants become instant (``"ph": "i"``) events, and an attached
+  sampler's windows become counter-track (``"ph": "C"``) events. One
+  simulated time unit
   is rendered as one millisecond (timestamps are in microseconds), each
   site is a process (``pid``), and each span tree occupies the thread
   (``tid``) of its root span so a transaction's remote RPC children line
@@ -59,6 +62,14 @@ def export_jsonl(obs: "Observability", path: str, label: str = "") -> int:
         record = instant.to_dict()
         record["type"] = "instant"
         lines.append(record)
+    sampler = getattr(obs, "sampler", None)
+    if sampler is not None:
+        for entry in sampler.series():
+            record = dict(entry)
+            record["type"] = "series"
+            record["t0"] = sampler.t0
+            record["period"] = sampler.period
+            lines.append(record)
     lines.append({"type": "metrics", "snapshot": obs.registry.snapshot()})
     with open(path, "w") as fh:
         for line in lines:
@@ -149,6 +160,14 @@ def chrome_trace_events(obs: "Observability") -> list[dict]:
                 "args": {"detail": instant.detail},
             }
         )
+    sampler = getattr(obs, "sampler", None)
+    if sampler is not None:
+        # The windowed time series render as counter tracks right under
+        # the span lanes: outage dips and recovery ramps line up with
+        # the crash/power-on instants visually.
+        from repro.obs.timeseries import counter_events
+
+        events.extend(counter_events(sampler, us_per_unit=US_PER_SIM_UNIT))
     return events
 
 

@@ -18,21 +18,9 @@ Metric name catalog: see ``docs/OBSERVABILITY.md``.
 
 from __future__ import annotations
 
-import math
 import typing
 
-
-def _percentile(values: list[float], q: float) -> float:
-    """Nearest-rank percentile; 0.0 for an empty sample.
-
-    Local on purpose — the harness has its own percentile helpers, but
-    importing the harness from the obs layer would invert the layering.
-    """
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
-    return ordered[rank - 1]
+from repro.obs.metrics import percentile
 
 
 def instrument_system(system: typing.Any) -> None:
@@ -73,8 +61,8 @@ def instrument_system(system: typing.Any) -> None:
             values[("tm.async_commits", site_id)] = float(stats.async_commits)
             values[("tm.drains_spawned", site_id)] = float(stats.drains_spawned)
             values[("tm.drains_completed", site_id)] = float(stats.drains_completed)
-            values[("tm.commit_p50", site_id)] = _percentile(stats.ack_latencies, 50)
-            values[("tm.commit_p99", site_id)] = _percentile(stats.ack_latencies, 99)
+            values[("tm.commit_p50", site_id)] = percentile(stats.ack_latencies, 50)
+            values[("tm.commit_p99", site_id)] = percentile(stats.ack_latencies, 99)
             rpc = tm.rpc
             values[("rpc.batches", site_id)] = float(rpc.stats_batches)
             values[("rpc.batched_calls", site_id)] = float(rpc.stats_batched_calls)

@@ -21,6 +21,7 @@ Two cost regimes:
 
 from __future__ import annotations
 
+import math
 import typing
 
 #: Fixed log-scale histogram bucket upper bounds: powers of two from
@@ -29,6 +30,29 @@ import typing
 BUCKET_BOUNDS: tuple[float, ...] = tuple(2.0**exp for exp in range(-3, 18))
 
 Key = typing.Tuple[str, typing.Optional[int]]
+
+
+def percentile(values: typing.Sequence[float], p: float) -> float:
+    """Half-up nearest-rank percentile (p in [0, 100]); 0.0 when empty.
+
+    The one percentile in the repository: the harness statistics, the
+    bench latency columns, the ``tm.commit_p50/p99`` collectors, and the
+    critical-path latency budget all route here, so every reported
+    percentile uses the same convention. The rank is ``floor(x + 0.5)``
+    rather than ``round(x)``: built-in ``round`` uses banker's rounding,
+    under which the p50 of two elements lands on index 0 (0.5 rounds to
+    0) — half-up makes .5 ties resolve to the upper neighbour
+    consistently on every Python build.
+    """
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if p <= 0:
+        return ordered[0]
+    if p >= 100:
+        return ordered[-1]
+    rank = int(math.floor(p / 100 * (len(ordered) - 1) + 0.5))
+    return ordered[max(0, min(len(ordered) - 1, rank))]
 
 
 class Counter:

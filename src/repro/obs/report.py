@@ -14,6 +14,11 @@ about (experiments E2/E4/E6):
 * **session-mismatch rejections** — how often this site's DM bounced a
   stale-view request (the protocol's correctness tax).
 
+Two analysis layers ride along when their inputs were recorded: the
+per-category **latency budget** (:mod:`repro.obs.critpath`, when spans
+are on) and the **throughput trough** figures per outage
+(:mod:`repro.obs.timeseries`, when a windowed sampler was attached).
+
 Works on any :class:`~repro.system.DatabaseSystem`; the copier/recovery
 fields appear when the system has the corresponding services (i.e. a
 :class:`~repro.core.system.RowaaSystem`).
@@ -115,7 +120,17 @@ def recovery_timeline(system: typing.Any) -> dict:
             ),
         },
     }
-    auditor = getattr(system.obs, "audit", None)
+    obs = system.obs
+    if obs.spans.enabled and obs.spans.spans:
+        from repro.obs.critpath import latency_budget
+
+        report["latency"] = latency_budget(obs)
+    sampler = getattr(obs, "sampler", None)
+    if sampler is not None and sampler.windows:
+        from repro.obs.timeseries import outage_stats
+
+        report["throughput"] = outage_stats(sampler)
+    auditor = getattr(obs, "audit", None)
     if auditor is not None:
         report["audit"] = auditor.summary()
     return report
@@ -175,6 +190,16 @@ def render_recovery_timeline(report: dict) -> str:
                 f"{wal['records_lost_unflushed']:>4}  {wal['records_shipped']:>7}  "
                 f"{wal['copies_performed']:>6}"
             )
+    throughput = report.get("throughput")
+    if throughput is not None:
+        from repro.obs.timeseries import render_outage_stats
+
+        lines.extend(render_outage_stats(throughput))
+    latency = report.get("latency")
+    if latency is not None and latency["txns"]:
+        from repro.obs.critpath import render_latency_budget
+
+        lines.append(render_latency_budget(latency))
     audit = report.get("audit")
     if audit is not None:
         lines.append(

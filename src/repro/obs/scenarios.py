@@ -54,12 +54,20 @@ def scenario_names() -> list[str]:
     return sorted(SCENARIO_MODULES)
 
 
-def run_traced(experiment: str, seed: int = 0, audit: bool = False) -> TracedRun:
+def run_traced(
+    experiment: str,
+    seed: int = 0,
+    audit: bool = False,
+    sample_period: float | None = None,
+) -> TracedRun:
     """Run the named experiment's traced scenario to completion.
 
     ``audit=True`` runs it under the online protocol auditor
     (``repro audit``): the returned run's ``obs.audit`` carries the
-    alert log and the incremental 1-STG.
+    alert log and the incremental 1-STG. ``sample_period`` enables the
+    windowed time-series sampler (``repro latency --sample-period``,
+    the throughput-trough report): the returned run's ``obs.sampler``
+    carries the windows.
     """
     try:
         module_name = SCENARIO_MODULES[experiment]
@@ -71,5 +79,11 @@ def run_traced(experiment: str, seed: int = 0, audit: bool = False) -> TracedRun
     module_name, _, attr = module_name.partition(":")
     module = importlib.import_module(module_name)
     scenario = getattr(module, attr or "traced_scenario")
-    kernel, system, obs, summary = scenario(seed, audit=audit)
+    kernel, system, obs, summary = scenario(
+        seed, audit=audit, sample_period=sample_period
+    )
+    # Span hygiene backstop for scenarios that end without quiescing:
+    # spans still open at the horizon are closed with truncated=True so
+    # exports and critpath see them. Idempotent after quiesce().
+    obs.spans.finish_open()
     return TracedRun(experiment, kernel, system, obs, summary)

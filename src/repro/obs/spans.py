@@ -146,6 +146,42 @@ class SpanRecorder:
                 span.attrs = {}
             span.attrs.update(attrs)
 
+    def annotate(self, span: Span, **attrs: object) -> None:
+        """Attach ``attrs`` to ``span`` without touching its end time.
+
+        Unlike :meth:`finish` this is safe on a span that must stay open
+        (e.g. marking the client-ack moment on a transaction root whose
+        drain is still in flight).
+        """
+        if attrs:
+            if span.attrs is None:
+                span.attrs = {}
+            span.attrs.update(attrs)
+
+    def finish_open(self, **attrs: object) -> list[Span]:
+        """Close every still-open span at the current sim-time.
+
+        Called when a simulation drains (harness ``quiesce``, the traced
+        scenario dispatcher): a span left open at the horizon — an
+        in-flight drain, a 2PC blocked on a dead coordinator — is real
+        protocol history and must survive into the exports rather than
+        being dropped or mis-measured. Each closed span is tagged
+        ``truncated=True`` so downstream analysis (critpath, the trace
+        viewer) can tell a horizon cut from a genuine finish. Returns the
+        spans it closed; idempotent.
+        """
+        closed: list[Span] = []
+        for span in self.spans:
+            if span.end is None:
+                span.end = self.kernel.now
+                if span.attrs is None:
+                    span.attrs = {}
+                span.attrs["truncated"] = True
+                if attrs:
+                    span.attrs.update(attrs)
+                closed.append(span)
+        return closed
+
     def complete(
         self,
         name: str,

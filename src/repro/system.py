@@ -178,6 +178,8 @@ class DatabaseSystem:
     def stop(self) -> None:
         """Stop housekeeping processes so ``kernel.run()`` can drain."""
         self.deadlock_detector.stop()
+        if self.obs.sampler is not None:
+            self.obs.sampler.stop()
 
     def crash(self, site_id: int) -> None:
         """Inject a crash at ``site_id``."""

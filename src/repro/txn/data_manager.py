@@ -338,8 +338,27 @@ class DataManager:
                 part.durable = True
                 # Group commit: every prepare landing this timestep
                 # shares one stable segment write; the ack is gated on
-                # durability but costs no simulated time.
-                yield wal.flush_soon()
+                # durability but costs no simulated time today — the
+                # wal-stall span marks the boundary so critpath charges
+                # any future flush latency to wal_stall, not execution.
+                obs = self.site.obs
+                stall = None
+                if obs.spans_on:
+                    # Parented to the transaction root (same recorder
+                    # across sites); skipped if the root was never
+                    # recorded — a parentless txn_id span would usurp
+                    # the root registry.
+                    root = obs.spans.root_of(request.txn_id)
+                    if root is not None:
+                        stall = obs.spans.start(
+                            "wal-stall", "wal_stall", self.site_id,
+                            parent=root, txn_id=request.txn_id,
+                        )
+                try:
+                    yield wal.flush_soon()
+                finally:
+                    if stall is not None:
+                        obs.spans.finish(stall)
         return True
 
     # -- 2PC participant ------------------------------------------------------------

@@ -219,6 +219,11 @@ class TransactionManager:
             # client ack leaves, whatever the commit mode kept on the
             # client path.
             self.stats.ack_latencies.append(self.kernel.now - txn.start_time)
+            if txn.span is not None:
+                # Critpath's window end: under sync 2PC the root span
+                # closed at the *decision*, before the commit round the
+                # client still waited on.
+                obs.spans.annotate(txn.span, ack_time=self.kernel.now)
         return result
 
     # -- termination --------------------------------------------------------------

@@ -1,10 +1,11 @@
 """Doc-drift gate: docs/OBSERVABILITY.md's metric catalog is exhaustive.
 
-Parses the three markdown tables of the "Metric catalog" section
-(scalars, histograms, time series) and compares the backticked metric
-names against a live ``registry.snapshot()`` from an audited traced
-run. Adding a metric without cataloguing it — or documenting one that
-no longer exists — fails here.
+Parses the four markdown tables of the "Metric catalog" section
+(scalars, histograms, time series, sampled series) and compares the
+backticked metric names against a live ``registry.snapshot()`` from an
+audited traced run (and a live sampler's ``series_names()``). Adding a
+metric without cataloguing it — or documenting one that no longer
+exists — fails here.
 """
 
 import pathlib
@@ -46,8 +47,8 @@ def snapshot():
 
 
 class TestMetricCatalogDrift:
-    def test_section_has_three_tables(self):
-        assert len(_catalog_tables()) == 3
+    def test_section_has_four_tables(self):
+        assert len(_catalog_tables()) == 4
 
     def test_scalar_names_match_snapshot_exactly(self, snapshot):
         documented = _catalog_tables()[0]
@@ -66,3 +67,16 @@ class TestMetricCatalogDrift:
         documented = _catalog_tables()[2]
         live = {key.split("@")[0] for key in snapshot["series"]}
         assert documented == live
+
+    def test_sampled_series_match_live_sampler(self):
+        from repro.harness.runner import build_traced_scheme
+
+        documented = _catalog_tables()[3]
+        _kernel, _system, obs = build_traced_scheme(
+            "rowaa", 1, 3, {"X": 0}, sample_period=10.0
+        )
+        live = set(obs.sampler.series_names())
+        assert documented == live, (
+            f"undocumented: {sorted(live - documented)}; "
+            f"stale rows: {sorted(documented - live)}"
+        )

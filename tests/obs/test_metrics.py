@@ -1,7 +1,12 @@
 """Unit tests for the metrics registry (repro.obs.metrics)."""
 
 from repro.obs import Observability
-from repro.obs.metrics import BUCKET_BOUNDS, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    BUCKET_BOUNDS,
+    Histogram,
+    MetricsRegistry,
+    percentile,
+)
 from repro.sim import Kernel
 
 
@@ -73,6 +78,35 @@ class TestSnapshot:
         assert snapshot["histograms"]["h"]["site_1"]["count"] == 1
         assert snapshot["histograms"]["h"]["all"]["count"] == 2
         assert snapshot["series"]["s@1"] == [(0.0, 1.0)]
+
+
+class TestPercentile:
+    """Regression pin on the one half-up nearest-rank percentile.
+
+    Before PR 7 three modules each carried their own copy with subtly
+    different rank conventions (ceil vs half-up); every consumer now
+    imports this one, so the convention is pinned here once.
+    """
+
+    def test_half_up_nearest_rank(self):
+        assert percentile([1.0, 2.0], 50) == 2.0  # rounds up at .5
+        assert percentile(list(range(1, 101)), 50) == 51.0
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0  # sorts its input
+
+    def test_edges_and_clamping(self):
+        assert percentile([], 50) == 0.0
+        assert percentile([5.0], 99) == 5.0
+        assert percentile([1.0, 2.0, 3.0], 0) == 1.0
+        assert percentile([1.0, 2.0, 3.0], -5) == 1.0
+        assert percentile([1.0, 2.0, 3.0], 100) == 3.0
+        assert percentile([1.0, 2.0, 3.0], 150) == 3.0
+
+    def test_single_shared_implementation(self):
+        from repro.harness import metrics as harness_metrics
+        from repro.obs import instrument
+
+        assert harness_metrics.percentile is percentile
+        assert instrument.percentile is percentile
 
 
 class TestObservability:

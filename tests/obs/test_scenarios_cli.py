@@ -77,7 +77,9 @@ class TestTraceCli:
         assert "txn.committed" in printed
         assert "recovery timeline" in printed
 
-    @pytest.mark.parametrize("subcommand", ["trace", "metrics", "audit"])
+    @pytest.mark.parametrize(
+        "subcommand", ["trace", "metrics", "audit", "latency"]
+    )
     def test_unknown_experiment_fails_cleanly(
         self, subcommand, tmp_path, capsys
     ):
@@ -88,3 +90,38 @@ class TestTraceCli:
         assert "unknown experiment 'e0'" in captured.err
         assert captured.err.startswith(subcommand + ":")
         assert not (tmp_path / "out").exists()
+
+
+class TestLatencyCli:
+    def test_latency_subcommand_budget_and_series(self, tmp_path, capsys):
+        out = tmp_path / "budget.json"
+        series = tmp_path / "series.jsonl"
+        code = main([
+            "latency", "--experiment", "e3", "--seed", "1",
+            "--sample-period", "10", "--out", str(out),
+            "--series", str(series),
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "latency budget" in printed
+        assert "throughput baseline" in printed
+
+        doc = json.loads(out.read_text())
+        assert doc["experiment"] == "e3"
+        assert doc["sample_period"] == 10.0
+        budget = doc["budgets"]["e3"]
+        assert budget["txns"] > 0
+        # The invariant the whole decomposition is built around: the
+        # categories (unattributed included) sum to the total exactly.
+        parts = sum(c["total"] for c in budget["categories"].values())
+        assert parts == pytest.approx(budget["total"])
+        assert budget["gap_fraction"] < 0.05
+        assert budget["gap_ok"]
+
+        lines = [
+            json.loads(x) for x in series.read_text().splitlines()
+        ]
+        assert lines[0]["type"] == "meta"
+        names = {x["name"] for x in lines if x["type"] == "series"}
+        assert "ts.committed" in names
+        assert "ts.site_up" in names

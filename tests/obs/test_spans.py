@@ -114,6 +114,42 @@ class TestUserTxnPropagation:
         assert recorder.root_of(root.txn_id) == root.span_id
 
 
+class TestSpanHygiene:
+    def test_finish_open_truncates_at_horizon(self, traced):
+        kernel, system, obs = traced
+        recorder = obs.spans
+        kernel.run(until=5.0)
+        hung = recorder.start("rpc:dm.write", "rpc", 1)
+        kernel.run(until=12.0)
+        closed = recorder.finish_open()
+        assert closed == [hung]
+        assert hung.end == 12.0
+        assert hung.attrs["truncated"] is True
+        # Idempotent: a second sweep (scenario backstop after quiesce)
+        # closes nothing and rewrites nothing.
+        kernel.run(until=20.0)
+        assert recorder.finish_open() == []
+        assert hung.end == 12.0
+
+    def test_finish_open_spares_finished_spans(self, traced):
+        kernel, system, obs = traced
+        kernel.run(system.submit(1, _write_program("X", 3)))
+        recorder = obs.spans
+        assert all(s.end is not None for s in recorder.spans)
+        assert recorder.finish_open() == []
+        assert not any(
+            s.attrs and s.attrs.get("truncated") for s in recorder.spans
+        )
+
+    def test_annotate_keeps_span_open(self, traced):
+        kernel, system, obs = traced
+        recorder = obs.spans
+        span = recorder.start("txn:T9", "user", 1, txn_id="T9")
+        recorder.annotate(span, ack_time=kernel.now)
+        assert span.end is None
+        assert span.attrs == {"ack_time": kernel.now}
+
+
 class TestDisabledCost:
     def test_no_spans_recorded_when_disabled(self):
         from repro.harness.runner import build_scheme
