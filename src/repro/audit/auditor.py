@@ -33,7 +33,18 @@ a simulation runs:
    (its own ~30-line mirror of ``SiteWal.restore``), and at power-on
    the restored copies/session must hash identically
    (``wal.replay_fingerprint``);
-6. **quorum commit soundness** (``commit_mode="async_quorum"``) — a
+6. **multiversion snapshot reads** (``repro.mvcc``) — the auditor
+   mirrors every site's committed version history (fed by the same
+   commit applications as the oracle) and checks each served snapshot
+   read against it: a read above its transaction's pinned cut, or one
+   that is not the *newest* version at-or-below the cut in the site's
+   own history, fires ``mvcc.snapshot_consistency``; a GC sweep that
+   reclaims the floor version of an active pinned cut (or a chain's
+   newest version) fires ``mvcc.gc_pinned``. The consistency rule is
+   deliberately site-local: with asymmetric local/remote delivery the
+   global oracle is *ahead* of a correct snapshot, so comparing against
+   it would false-positive (see DESIGN.md "Snapshot reads");
+7. **quorum commit soundness** (``commit_mode="async_quorum"``) — a
    committed async transaction whose durably prepared write sites fall
    short of the per-item majority rule fires ``quorum.majority``; a
    drain that gives up on a write site which *never crashed* since the
@@ -58,6 +69,7 @@ is attached.
 
 from __future__ import annotations
 
+import bisect
 import dataclasses
 import hashlib
 import typing
@@ -115,6 +127,11 @@ class ProtocolAuditor:
         )
         #: Omniscient oracle: latest committed version per logical item.
         self._oracle: dict[str, "Version"] = {}
+        #: Per-site committed version history, ``(site, item) -> sorted
+        #: [(vkey, Version)]``: every version ever applied at that site,
+        #: surviving GC — the reference the snapshot-consistency rule
+        #: resolves cuts against.
+        self._site_versions: dict[tuple[int, str], list[tuple[tuple, "Version"]]] = {}
         #: NS freshness: site -> (last nonzero announcement, announcing txn).
         self._ns_announced: dict[int, tuple[int, str]] = {}
         rowaa_config = getattr(system, "rowaa_config", None)
@@ -147,6 +164,11 @@ class ProtocolAuditor:
             dm.access_audit_hooks.append(self._access_hook(site_id))
             dm.read_audit_hooks.append(self._read_hook(site_id))
             dm.commit_apply_hooks.append(self._apply_hook(site_id))
+            ro_hooks = getattr(dm, "ro_read_audit_hooks", None)
+            if ro_hooks is not None:
+                ro_hooks.append(self._ro_read_hook(site_id))
+        for site_id, store in getattr(system, "mvcc", {}).items():
+            store.gc_hooks.append(self._gc_hook(site_id))
         for site in system.cluster.sites.values():
             site.crash_hooks.append(self._crash_hook(site))
             site.power_on_hooks.append(self._power_on_hook(site))
@@ -268,9 +290,127 @@ class ProtocolAuditor:
             latest = self._oracle.get(item)
             if latest is None or _vkey(version) > _vkey(latest):
                 self._oracle[item] = version
+            self._record_site_version(site_id, item, version)
             if kind == "control" and not overridden and is_ns_item(item):
                 self._ns_check(site_id, txn_id, item, value)
             self._pump()
+
+        return hook
+
+    # -- (6) multiversion snapshot reads --------------------------------------
+
+    def _record_site_version(
+        self, site_id: int, item: str, version: "Version"
+    ) -> None:
+        """Append to the site's committed version history (sorted, deduped)."""
+        history = self._site_versions.setdefault((site_id, item), [])
+        entry = (_vkey(version), version)
+        index = bisect.bisect_left(history, entry[0], key=lambda e: e[0])
+        if index < len(history) and history[index][0] == entry[0]:
+            return
+        history.insert(index, entry)
+
+    def _site_floor(
+        self, site_id: int, item: str, cut: tuple
+    ) -> tuple[float, int]:
+        """The newest vkey at-or-below ``cut`` ever applied at the site
+        (the implicit initial version is the baseline)."""
+        floor = (0.0, 0)  # Version.initial()
+        history = self._site_versions.get((site_id, item), [])
+        index = bisect.bisect_right(history, cut, key=lambda e: e[0])
+        if index > 0:
+            floor = history[index - 1][0]
+        return floor
+
+    def _ro_read_hook(self, site_id: int):
+        def hook(item: str, version: "Version", cut: tuple) -> None:
+            """Every snapshot read must serve exactly the site's newest
+            committed version at-or-below the transaction's pinned cut.
+
+            Site-local on purpose: local commits apply instantly while
+            remote COMMITs ride the network, so the *global* latest at
+            the cut may not have reached this site yet — that is the
+            staleness the cut's ``D`` floor accounts for, not a bug.
+            """
+            self.checks += 1
+            served = _vkey(version)
+            if served > cut:
+                self._alert(
+                    "mvcc.snapshot_consistency",
+                    "critical",
+                    f"snapshot read of {item} served commit "
+                    f"{version.commit} above the transaction's pinned cut "
+                    f"(ts {cut[0]:g}): the snapshot is not a committed "
+                    "prefix",
+                    site=site_id,
+                    details={
+                        "item": item,
+                        "served": list(served),
+                        "cut": list(cut),
+                    },
+                    dedupe_key=(site_id, item, served, "above-cut"),
+                )
+                return
+            expected = self._site_floor(site_id, item, cut)
+            if served != expected:
+                self._alert(
+                    "mvcc.snapshot_consistency",
+                    "critical",
+                    f"snapshot read of {item} served commit "
+                    f"{version.commit}, not the site's newest committed "
+                    f"version at-or-below the cut (expected commit "
+                    f"{expected[1]}): reads at one cut are not a single "
+                    "committed prefix",
+                    site=site_id,
+                    details={
+                        "item": item,
+                        "served": list(served),
+                        "expected": list(expected),
+                        "cut": list(cut),
+                    },
+                    dedupe_key=(site_id, item, served, expected),
+                )
+
+        return hook
+
+    def _gc_hook(self, site_id: int):
+        def hook(item, removed, pins, chain_before) -> None:
+            """GC must never reclaim a pinned cut's floor version, nor a
+            chain's newest version (the floor of every future cut)."""
+            self.checks += 1
+            removed_keys = {_vkey(v) for v in removed}
+            keys_before = [_vkey(v) for v in chain_before]
+            if keys_before and keys_before[-1] in removed_keys:
+                self._alert(
+                    "mvcc.gc_pinned",
+                    "critical",
+                    f"GC reclaimed the newest version of {item} "
+                    f"(commit {chain_before[-1].commit}): even an empty "
+                    "pin set must keep the chain head",
+                    site=site_id,
+                    details={"item": item, "removed": len(removed)},
+                    dedupe_key=(site_id, item, keys_before[-1]),
+                )
+            for pin in pins:
+                index = bisect.bisect_right(keys_before, tuple(pin))
+                if index == 0:
+                    continue
+                floor = keys_before[index - 1]
+                if floor in removed_keys:
+                    self._alert(
+                        "mvcc.gc_pinned",
+                        "critical",
+                        f"GC reclaimed the floor version of {item} for an "
+                        f"active pinned snapshot (cut ts {pin[0]:g}): the "
+                        "pinned reader would now miss its version",
+                        site=site_id,
+                        details={
+                            "item": item,
+                            "pin": list(pin),
+                            "floor": list(floor),
+                        },
+                        dedupe_key=(site_id, item, tuple(pin), floor),
+                    )
 
         return hook
 

@@ -72,6 +72,7 @@ from repro.harness.experiments import (
     e8_serializability,
     e9_catchup,
     e10_commit_modes,
+    e11_snapshot_reads,
 )
 
 Runner = typing.Callable[..., object]
@@ -139,6 +140,12 @@ EXPERIMENTS: dict[str, dict] = {
         "full": dict(trials=4, duration=600.0),
         "small": dict(trials=2, duration=300.0),
     },
+    "e11": {
+        "module": e11_snapshot_reads,
+        "title": "snapshot reads vs lock-based reads under failures",
+        "full": dict(trials=4, duration=600.0),
+        "small": dict(trials=2, duration=300.0),
+    },
 }
 
 
@@ -151,7 +158,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (e1..e10), 'all', 'list', 'bench', 'trace', "
+        help="experiment id (e1..e11), 'all', 'list', 'bench', 'trace', "
         "'metrics', 'audit', 'latency', or 'lint'",
     )
     parser.add_argument("--seed", type=int, default=3, help="master seed")
@@ -315,6 +322,10 @@ def run_bench(args: argparse.Namespace) -> int:
         # Percent, not fraction: append_entry rounds metrics to one
         # decimal, which would flatten a fraction to 0.0 or 0.1.
         metrics["latency_attribution_overhead_pct"] = sampled_overhead * 100
+    mvcc_overhead = bench.ro_overhead_fraction(metrics)
+    if mvcc_overhead is not None:
+        print(f"mvcc_write_overhead: {mvcc_overhead:.1%}")
+        metrics["mvcc_write_overhead_pct"] = mvcc_overhead * 100
 
     exit_code = 0
     if args.check:
@@ -338,6 +349,10 @@ def run_bench(args: argparse.Namespace) -> int:
             exit_code = 1
         if sampled_overhead is not None and sampled_overhead > args.max_overhead:
             print(f"latency attribution overhead {sampled_overhead:.1%} exceeds "
+                  f"--max-overhead {args.max_overhead:.0%}  << REGRESSION")
+            exit_code = 1
+        if mvcc_overhead is not None and mvcc_overhead > args.max_overhead:
+            print(f"mvcc write overhead {mvcc_overhead:.1%} exceeds "
                   f"--max-overhead {args.max_overhead:.0%}  << REGRESSION")
             exit_code = 1
     if not args.no_append:
@@ -429,9 +444,8 @@ def run_latency(args: argparse.Namespace) -> int:
     )
 
     period = args.sample_period if args.sample_period is not None else 10.0
-    scenarios = (
-        ["e10sync", "e10"] if args.scenario == "e10" else [args.scenario]
-    )
+    paired = {"e10": ["e10sync", "e10"], "e11": ["e11sync", "e11"]}
+    scenarios = paired.get(args.scenario, [args.scenario])
     budgets: dict[str, dict] = {}
     troughs: dict[str, dict] = {}
     for index, scenario in enumerate(scenarios):

@@ -145,6 +145,23 @@ class CopyUnreadable(TransactionError):
         self.site_id = site_id
 
 
+class SnapshotUnavailable(TransactionError):
+    """A snapshot read found no committed version at-or-below its cut.
+
+    Happens when garbage collection (or a chain that never reached this
+    site) leaves no floor version for the transaction's pinned cut; the
+    read-only transaction aborts and may retry with a fresh snapshot.
+    """
+
+    def __init__(self, item: str, site_id: int, cut_ts: float) -> None:
+        super().__init__(
+            f"no version of {item} at site {site_id} at-or-below cut {cut_ts:g}"
+        )
+        self.item = item
+        self.site_id = site_id
+        self.cut_ts = cut_ts
+
+
 class TotalFailure(TransactionError):
     """No readable copy of a data item exists at any operational site.
 

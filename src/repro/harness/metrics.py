@@ -33,6 +33,9 @@ def tm_totals(system: DatabaseSystem) -> dict:
     for tm in system.tms.values():
         for reason, count in tm.stats.aborts_by_reason.items():
             reasons[reason] = reasons.get(reason, 0) + count
+    ro_latencies: list[float] = []
+    for tm in system.tms.values():
+        ro_latencies.extend(tm.stats.ro_latencies)
     return {
         "committed": committed,
         "aborted": aborted,
@@ -40,6 +43,14 @@ def tm_totals(system: DatabaseSystem) -> dict:
         "mean_latency": mean(latencies),
         "p95_latency": percentile(latencies, 95),
         "aborts_by_reason": reasons,
+        # Read-only (beginRO) transactions, reported separately: they
+        # never hold locks or run 2PC, so folding them into the commit
+        # totals above would flatter the RW numbers.
+        "ro_committed": sum(tm.stats.ro_committed for tm in system.tms.values()),
+        "ro_aborted": sum(tm.stats.ro_aborted for tm in system.tms.values()),
+        "ro_refused": sum(tm.stats.ro_refused for tm in system.tms.values()),
+        "ro_mean_latency": mean(ro_latencies),
+        "ro_p95_latency": percentile(ro_latencies, 95),
     }
 
 

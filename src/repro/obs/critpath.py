@@ -19,7 +19,11 @@ wins. The categories, most specific first:
                     (``rpc:dm.prepare`` and ``quorum`` spans)
 ``decision_broadcast``  the commit/abort round on the client path
                     (``rpc:dm.commit`` / ``rpc:dm.abort`` spans)
-``execution``       remote DM work (``serve`` spans)
+``ro_serve``        snapshot-read rounds of read-only transactions
+                    (``rpc:dm.read_snapshot`` and its serve span —
+                    service *and* transit, so a lock-free RO txn's whole
+                    ack latency lands here)
+``execution``       remote DM work (other ``serve`` spans)
 ``network``         RPC transit not covered by a serve span
 ``client_think``    explicit ``think`` spans inside the window (closed-loop
                     clients think *between* transactions, so this is 0
@@ -62,6 +66,7 @@ CATEGORIES: tuple[str, ...] = (
     "wal_stall",
     "prepare_wait",
     "decision_broadcast",
+    "ro_serve",
     "execution",
     "network",
     "client_think",
@@ -88,11 +93,15 @@ def _bucket_of(span: "Span") -> int | None:
             return 2
         if span.name in ("rpc:dm.commit", "rpc:dm.abort"):
             return 3
-        return 5
-    if category == "serve":
-        return 4
-    if category == "think":
+        if span.name == "rpc:dm.read_snapshot":
+            return 4
         return 6
+    if category == "serve":
+        if span.name == "serve:dm.read_snapshot":
+            return 4
+        return 5
+    if category == "think":
+        return 7
     return None  # 2pc containers, drains, anything future
 
 

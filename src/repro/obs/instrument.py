@@ -56,6 +56,9 @@ def instrument_system(system: typing.Any) -> None:
             values[("txn.committed", site_id)] = float(stats.committed)
             values[("txn.aborted", site_id)] = float(stats.aborted)
             values[("txn.refused", site_id)] = float(stats.refused)
+            values[("txn.ro_committed", site_id)] = float(stats.ro_committed)
+            values[("txn.ro_aborted", site_id)] = float(stats.ro_aborted)
+            values[("txn.ro_refused", site_id)] = float(stats.ro_refused)
             values[("tm.commit_ack_lost", site_id)] = float(stats.commit_ack_lost)
             values[("tm.abort_ack_lost", site_id)] = float(stats.abort_ack_lost)
             values[("tm.async_commits", site_id)] = float(stats.async_commits)
@@ -109,10 +112,29 @@ def instrument_system(system: typing.Any) -> None:
             )
         return values
 
+    def collect_mvcc() -> dict:
+        values: dict = {}
+        for site_id, store in getattr(system, "mvcc", {}).items():
+            stats = store.stats
+            values[("mvcc.ro_served", site_id)] = float(stats.ro_served)
+            values[("mvcc.ro_served_while_recovering", site_id)] = float(
+                stats.ro_served_stale
+            )
+            values[("mvcc.gc_reclaimed", site_id)] = float(stats.gc_reclaimed)
+            values[("mvcc.gc_sweeps", site_id)] = float(stats.gc_sweeps)
+            values[("mvcc.versions_retained", site_id)] = float(
+                store.versions_retained()
+            )
+            values[("mvcc.snapshots_active", site_id)] = float(
+                store.active_pins()
+            )
+        return values
+
     registry.add_collector(collect_kernel)
     registry.add_collector(collect_network)
     registry.add_collector(collect_sites)
     registry.add_collector(collect_wal)
+    registry.add_collector(collect_mvcc)
 
     # Timeline instants: site lifecycle + transaction finish. The hooks
     # are always attached (cheap: one call per lifecycle event / txn

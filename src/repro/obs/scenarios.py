@@ -35,6 +35,8 @@ SCENARIO_MODULES: dict[str, str] = {
     "e9": "repro.harness.experiments.e9_catchup",
     "e10": "repro.harness.experiments.e10_commit_modes",
     "e10sync": "repro.harness.experiments.e10_commit_modes:traced_scenario_sync",
+    "e11": "repro.harness.experiments.e11_snapshot_reads",
+    "e11sync": "repro.harness.experiments.e11_snapshot_reads:traced_scenario_sync",
 }
 
 

@@ -66,6 +66,13 @@ class CopyStore:
         #: mutation, with op in {"write", "mark", "clear"}. Duck-typed so
         #: the storage layer needs no dependency on repro.wal.
         self.journal: typing.Callable[..., None] | None = None
+        #: Version observers (set by the site's multiversion store):
+        #: called as ``hook(op, item, value, version)`` with op in
+        #: {"write", "install", "reset"}. Unlike ``journal`` these fire
+        #: on the restore path too (``install``), which is how version
+        #: chains are rebuilt from checkpoint + replay without the WAL
+        #: knowing anything about repro.mvcc.
+        self.version_hooks: list[typing.Callable[..., None]] = []
 
     # -- schema -------------------------------------------------------------
 
@@ -98,6 +105,8 @@ class CopyStore:
         copy.unreadable = False
         if self.journal is not None:
             self.journal("write", item, value, version)
+        for hook in self.version_hooks:
+            hook("write", item, value, version)
 
     def mark_unreadable(self, item: str) -> None:
         """Flag the copy as possibly stale (recovery step 2, §3.4)."""
@@ -127,6 +136,8 @@ class CopyStore:
     def reset(self) -> None:
         """Drop every copy: the restore path rebuilds from checkpoint+log."""
         self._copies.clear()
+        for hook in self.version_hooks:
+            hook("reset", None, None, None)
 
     def install(
         self, item: str, value: object, version: Version, unreadable: bool = False
@@ -140,4 +151,6 @@ class CopyStore:
         copy.value = value
         copy.version = version
         copy.unreadable = unreadable
+        for hook in self.version_hooks:
+            hook("install", item, value, version)
         return copy

@@ -29,6 +29,9 @@ from repro.txn.strategy import ReplicationStrategy
 from repro.txn.transaction import TxnKind
 from repro.wal import WalConfig
 
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.mvcc import MultiVersionStore, SnapshotManager
+
 StrategyFactory = typing.Callable[["DatabaseSystem"], ReplicationStrategy]
 
 
@@ -143,6 +146,30 @@ class DatabaseSystem:
         if concurrency == "to":
             for tm in self.tms.values():
                 tm.version_policy = "timestamp"
+        # Multiversion snapshot reads (repro.mvcc): 2PL only — commit
+        # versions then order by decision instant, which is what makes
+        # the ``now - D`` time cut a consistent committed prefix. The TO
+        # scheduler's timestamp versions (txn start time) break that
+        # argument, so the subsystem stays off there.
+        self.mvcc: dict[int, "MultiVersionStore"] = {}
+        self.snapshots: dict[int, "SnapshotManager"] = {}
+        if self.config.mvcc and concurrency == "2pl":
+            from repro.mvcc import MultiVersionStore, SnapshotManager
+
+            for site_id in self.cluster.site_ids:
+                site = self.cluster.site(site_id)
+                store = MultiVersionStore(
+                    kernel,
+                    site,
+                    floor_delay=self.config.ro_staleness_floor,
+                    gc_period=self.config.mvcc_gc_period,
+                )
+                site.mvcc = store  # type: ignore[attr-defined]
+                site.power_on_hooks.append(store.on_power_on)
+                manager = SnapshotManager(kernel, site, store)
+                self.mvcc[site_id] = store
+                self.snapshots[site_id] = manager
+                self.tms[site_id].snapshots = manager
         self.deadlock_detector = GlobalDeadlockDetector(
             kernel, self._live_lock_managers, interval=self.config.deadlock_interval
         )
@@ -178,6 +205,8 @@ class DatabaseSystem:
     def stop(self) -> None:
         """Stop housekeeping processes so ``kernel.run()`` can drain."""
         self.deadlock_detector.stop()
+        for store in self.mvcc.values():
+            store.stop_gc()
         if self.obs.sampler is not None:
             self.obs.sampler.stop()
 
@@ -213,6 +242,11 @@ class DatabaseSystem:
     ) -> Process:
         """Run ``program`` as a single transaction attempt at ``site_id``."""
         return self.tms[site_id].submit(program, kind)
+
+    def submit_ro(self, site_id: int, program: typing.Callable) -> Process:
+        """Run ``program`` as a read-only snapshot transaction at
+        ``site_id`` (``beginRO``; requires the mvcc subsystem)."""
+        return self.tms[site_id].submit_ro(program)
 
     def submit_with_retry(
         self,

@@ -50,6 +50,21 @@ class TxnConfig:
         site before giving the site up to recovery marks.
     drain_retry_delay:
         Pause between drain retry rounds.
+    mvcc:
+        Enable multiversion snapshot reads (``beginRO`` via
+        ``TransactionManager.submit_ro``). Only takes effect under 2PL
+        concurrency, where version order equals 2PC-decision order; the
+        TO scheduler's timestamp versions break the time-cut argument
+        (see DESIGN.md "Snapshot reads") and disable the subsystem.
+    ro_staleness_floor:
+        ``D``, the snapshot staleness floor: a fully-current site serves
+        read-only transactions at the cut ``now - D``. Must upper-bound
+        the one-way delivery latency of COMMIT messages — every version
+        decided before ``now - D`` has then been applied at every live
+        resident site, which is what makes the cut a consistent
+        committed prefix without any cross-site coordination.
+    mvcc_gc_period:
+        Period of the per-site background version-chain GC sweep.
     """
 
     rpc_timeout: float = 50.0
@@ -61,6 +76,9 @@ class TxnConfig:
     commit_mode: str = "sync_2pc"
     drain_retries: int = 1
     drain_retry_delay: float = 10.0
+    mvcc: bool = True
+    ro_staleness_floor: float = 2.0
+    mvcc_gc_period: float = 50.0
 
 
 COMMIT_MODES = ("sync_2pc", "async_quorum")

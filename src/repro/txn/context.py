@@ -4,11 +4,19 @@ from __future__ import annotations
 
 import typing
 
+from repro.errors import TransactionError
 from repro.storage.copies import Version
-from repro.txn.payloads import BatchReadRequest, FinishRequest, ReadRequest, WriteRequest
+from repro.txn.payloads import (
+    BatchReadRequest,
+    FinishRequest,
+    ReadRequest,
+    SnapshotReadRequest,
+    WriteRequest,
+)
 from repro.txn.transaction import Transaction, TxnKind
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.mvcc.snapshot import Snapshot
     from repro.txn.manager import TransactionManager
 
 
@@ -43,6 +51,19 @@ class TxnContext:
     def write(self, item: str, value: object) -> typing.Generator:
         """Logical WRITE(item, value) via the replication strategy."""
         return self.tm.strategy.write(self, item, value)
+
+    def read_many(self, items: typing.Sequence[str]) -> typing.Generator:
+        """Logical READs of ``items``, returning values in order.
+
+        Mirrors :meth:`ReadOnlyTxnContext.read_many` so the same program
+        body runs under either path — that is how the E11 lock-based
+        baseline replays the snapshot workload through ordinary 2PL.
+        """
+        values = []
+        for item in items:
+            value = yield from self.read(item)
+            values.append(value)
+        return values
 
     # -- physical operations -------------------------------------------------
 
@@ -196,3 +217,86 @@ class TxnContext:
             site_id, "dm.release", FinishRequest(self.txn.txn_id),
             span_parent=self._span,
         )
+
+
+class ReadOnlyTxnContext:
+    """What a ``beginRO`` (snapshot-read) transaction program sees.
+
+    All reads resolve at the home site's multiversion store against the
+    snapshot's pinned cut — no locks, no replication strategy, no 2PC.
+    The context exposes the snapshot's explicit :attr:`staleness_bound`
+    so a client knows how old its view may be (essential when a
+    recovering site serves it).
+    """
+
+    def __init__(
+        self, tm: "TransactionManager", txn: Transaction, snapshot: "Snapshot"
+    ) -> None:
+        self.tm = tm
+        self.txn = txn
+        self.snapshot = snapshot
+
+    @property
+    def _span(self) -> int | None:
+        return self.txn.span_id
+
+    @property
+    def staleness_bound(self) -> float:
+        """Max age of this transaction's view at begin time: every commit
+        decided before ``begin - staleness_bound`` is visible."""
+        return self.snapshot.staleness
+
+    @property
+    def served_stale(self) -> bool:
+        """True when the home site was recovering (or held unreadable
+        copies) at begin time and served the durable stale cut."""
+        return self.snapshot.stale
+
+    def read(self, item: str) -> typing.Generator:
+        """Snapshot READ(item); returns the value (``ctx.read`` contract)."""
+        values = yield from self.read_many([item])
+        return values[0]
+
+    def read_many(self, items: typing.Sequence[str]) -> typing.Generator:
+        """Read several items at the snapshot cut in one round trip.
+
+        Returns values in ``items`` order. The whole batch is served in
+        one synchronous step at the DM, so it is trivially fracture-free.
+        """
+        request = SnapshotReadRequest(
+            txn_id=self.txn.txn_id,
+            txn_seq=self.txn.seq,
+            items=tuple(items),
+            cut_ts=self.snapshot.cut[0],
+            cut_commit=self.snapshot.cut[1],
+        )
+        self.txn.touched_sites.add(self.tm.site_id)
+        reply = yield self.tm.rpc.call(
+            self.tm.site_id, "dm.read_snapshot", request,
+            timeout=self.tm.config.rpc_timeout, span_parent=self._span,
+        )
+        return [value for value, _version in reply]
+
+    def read_versioned(self, items: typing.Sequence[str]) -> typing.Generator:
+        """Like :meth:`read_many` but returns ``(value, version)`` pairs
+        (tests and the auditor's cross-checks use the versions)."""
+        request = SnapshotReadRequest(
+            txn_id=self.txn.txn_id,
+            txn_seq=self.txn.seq,
+            items=tuple(items),
+            cut_ts=self.snapshot.cut[0],
+            cut_commit=self.snapshot.cut[1],
+        )
+        self.txn.touched_sites.add(self.tm.site_id)
+        reply = yield self.tm.rpc.call(
+            self.tm.site_id, "dm.read_snapshot", request,
+            timeout=self.tm.config.rpc_timeout, span_parent=self._span,
+        )
+        return list(reply)
+
+    def write(self, item: str, value: object) -> typing.Generator:
+        """Read-only transactions cannot write; always raises."""
+        raise TransactionError(
+            f"{self.txn.txn_id} is read-only: cannot write {item}"
+        )
+        yield  # pragma: no cover - keeps the generator contract

@@ -46,6 +46,7 @@ from repro.txn.payloads import (
     OutcomeQuery,
     PrepareRequest,
     ReadRequest,
+    SnapshotReadRequest,
     WriteRequest,
 )
 
@@ -116,6 +117,9 @@ class DataManager:
         self.access_audit_hooks: list[typing.Callable] = []
         self.read_audit_hooks: list[typing.Callable] = []
         self.commit_apply_hooks: list[typing.Callable] = []
+        #: Auditor tap for the snapshot-read path: ``hook(item, version,
+        #: cut)`` per served snapshot read (``mvcc.snapshot_consistency``).
+        self.ro_read_audit_hooks: list[typing.Callable] = []
         #: Optional §5 stale-tracking refinement (fail-locks / missing
         #: lists); called as ``on_commit_write(item, applied, missed)``
         #: for every committed physical write at this site.
@@ -129,6 +133,7 @@ class DataManager:
 
         site.rpc.register("dm.read", self._handle_read)
         site.rpc.register("dm.read_batch", self._handle_read_batch)
+        site.rpc.register("dm.read_snapshot", self._handle_read_snapshot)
         site.rpc.register("dm.write", self._handle_write)
         site.rpc.register("dm.prepare", self._handle_prepare)
         site.rpc.register("dm.commit", self._handle_commit)
@@ -298,6 +303,40 @@ class DataManager:
             for hook in self.read_audit_hooks:
                 hook(item, copy.version)
             results.append((copy.value, copy.version))
+        return results
+
+    def _handle_read_snapshot(
+        self, request: SnapshotReadRequest, src: int
+    ) -> list[tuple[object, Version]]:
+        """Serve a read-only transaction's reads at its pinned cut.
+
+        Deliberately a plain (non-generator) handler: the whole batch
+        resolves against the version chains in one synchronous step, so
+        no committed write can interleave mid-batch — fractured reads
+        are structurally impossible. No locks, no session check, no
+        participation record, no history entry: the snapshot path never
+        touches the RW machinery.
+        """
+        if self.site.user_frozen:
+            # Partition mode fences snapshot reads too: the frozen side
+            # must not leak the pre-partition world to clients.
+            raise NotOperational(self.site_id)
+        store = getattr(self.site, "mvcc", None)
+        if store is None:
+            raise TransactionError(
+                f"site {self.site_id} has no multiversion store"
+            )
+        cut = (request.cut_ts, request.cut_commit)
+        stale = store.is_stale_serving()
+        results: list[tuple[object, Version]] = []
+        for item in request.items:
+            value, version = store.read_at(item, cut)
+            for hook in self.ro_read_audit_hooks:
+                hook(item, version, cut)
+            results.append((value, version))
+        store.stats.ro_served += len(results)
+        if stale:
+            store.stats.ro_served_stale += len(results)
         return results
 
     def _handle_write(self, request: WriteRequest, src: int) -> typing.Generator:

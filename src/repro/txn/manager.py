@@ -36,7 +36,7 @@ from repro.storage.catalog import Catalog
 from repro.storage.copies import Version
 from repro.txn.commit import AsyncQuorumCommit, Sync2pcCommit
 from repro.txn.config import COMMIT_MODES, TxnConfig
-from repro.txn.context import TxnContext
+from repro.txn.context import ReadOnlyTxnContext, TxnContext
 from repro.txn.payloads import (
     CommitRequest,
     FinishRequest,
@@ -77,6 +77,13 @@ class TmStats:
     async_commits: int = 0  # decisions taken under async_quorum
     drains_spawned: int = 0
     drains_completed: int = 0
+    #: Read-only (``beginRO``) transactions, counted apart from the RW
+    #: numbers above: they take no locks and never enter 2PC, so mixing
+    #: them into ``committed`` would flatter every RW latency statistic.
+    ro_committed: int = 0
+    ro_aborted: int = 0
+    ro_refused: int = 0  # submitted while the site was down or frozen
+    ro_latencies: list[float] = dataclasses.field(default_factory=list)
 
 
 class TransactionManager:
@@ -121,6 +128,11 @@ class TransactionManager:
             Sync2pcCommit.name: Sync2pcCommit(self),
             AsyncQuorumCommit.name: AsyncQuorumCommit(self),
         }
+        #: The site's :class:`~repro.mvcc.snapshot.SnapshotManager`; wired
+        #: by the system when multiversion snapshot reads are enabled
+        #: (``config.mvcc`` and 2PL concurrency), else None and
+        #: :meth:`submit_ro` refuses.
+        self.snapshots: typing.Any = None
         self._active: set[str] = set()
         self._outcomes: dict[str, tuple[str, Version | None]] = {}
         site.rpc.register("tm.outcome", self._handle_outcome)
@@ -173,6 +185,85 @@ class TransactionManager:
         termination.
         """
         return self.site.spawn(self.run(program, kind), name=f"txn:{kind.value}")
+
+    def submit_ro(self, program: typing.Callable) -> Process:
+        """Run ``program`` as a read-only snapshot transaction (``beginRO``).
+
+        The program receives a
+        :class:`~repro.txn.context.ReadOnlyTxnContext` and reads at one
+        pinned committed snapshot: no locks, no 2PC, no deadlock
+        participation. Unlike :meth:`submit`, a RECOVERING home site is
+        allowed — it serves the versions it provably holds (the durable
+        stale cut) while copiers drain its missing list.
+        """
+        return self.site.spawn(self.run_ro(program), name="txn:ro")
+
+    def run_ro(
+        self, program: typing.Callable, parent_span: int | None = None
+    ) -> typing.Generator:
+        """Read-only transaction body (see :meth:`submit_ro`)."""
+        if self.site.is_down or self.site.user_frozen or self.snapshots is None:
+            self.stats.ro_refused += 1
+            raise NotOperational(self.site_id)
+        txn = Transaction(
+            home_site=self.site_id, kind=TxnKind.USER, read_only=True,
+            start_time=self.kernel.now,
+        )
+        obs = self.site.obs
+        if obs.spans_on:
+            txn.span = obs.spans.start(
+                f"txn:{txn.txn_id}", TxnKind.USER.value, self.site_id,
+                parent=parent_span, txn_id=txn.txn_id,
+            )
+            obs.spans.annotate(txn.span, read_only=True)
+        snapshot = self.snapshots.begin()
+        ctx = ReadOnlyTxnContext(self, txn, snapshot)
+        self._active.add(txn.txn_id)
+        try:
+            try:
+                result = yield from program(ctx)
+            except ABORT_CAUSES as exc:
+                self._finish_ro(txn, TxnStatus.ABORTED, reason=_reason_of(exc))
+                raise TransactionAborted(txn.txn_id, _reason_of(exc)) from exc
+            except BaseException:
+                if not txn.is_finished:
+                    self._finish_ro(txn, TxnStatus.ABORTED, reason="crash-or-bug")
+                raise
+            self._finish_ro(txn, TxnStatus.COMMITTED)
+            return result
+        finally:
+            # Unpin whatever happened — a leaked pin would wedge GC.
+            self.snapshots.release(snapshot)
+
+    def _finish_ro(
+        self, txn: Transaction, status: TxnStatus, reason: str | None = None
+    ) -> None:
+        """Terminate a read-only transaction.
+
+        Deliberately disjoint from :meth:`_finish`: no stable commit
+        record, no history-recorder outcome, and none of the RW stats —
+        a snapshot read commits locally by construction, and mixing it
+        into the RW counters would flatter every 2PC statistic.
+        """
+        txn.status = status
+        txn.end_time = self.kernel.now
+        txn.abort_reason = reason
+        self._active.discard(txn.txn_id)
+        obs = self.site.obs
+        obs.registry.histogram("txn.latency", self.site_id).observe(
+            txn.end_time - txn.start_time
+        )
+        if txn.span is not None:
+            obs.spans.finish(txn.span, status=status.value, reason=reason)
+            if status is TxnStatus.COMMITTED:
+                obs.spans.annotate(txn.span, ack_time=self.kernel.now)
+        if status is TxnStatus.COMMITTED:
+            self.stats.ro_committed += 1
+            self.stats.ro_latencies.append(txn.end_time - txn.start_time)
+        else:
+            self.stats.ro_aborted += 1
+        for hook in list(self.finish_hooks):
+            hook(txn)
 
     def run(
         self,

@@ -72,6 +72,29 @@ class BatchReadRequest:
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
+class SnapshotReadRequest:
+    """Read several items at one committed snapshot cut (``beginRO``).
+
+    Served by the multiversion store entirely outside the lock manager
+    and 2PC: the whole batch resolves synchronously against the pinned
+    cut ``(cut_ts, cut_commit)``, so the reads are a consistent
+    committed prefix by construction. No session check — snapshot reads
+    are valid at recovering sites precisely *because* they read below
+    the cut the site provably holds.
+    """
+
+    txn_id: str
+    txn_seq: int
+    items: tuple[str, ...]
+    cut_ts: float
+    cut_commit: int
+
+    @property
+    def wire_size(self) -> int:
+        return _HEADER_BYTES + sum(len(item) for item in self.items) + 16
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
 class WriteRequest:
     """Buffer a write intent for one physical copy.
 

@@ -66,6 +66,9 @@ class Transaction:
     kind: TxnKind = TxnKind.USER
     seq: int = dataclasses.field(default_factory=lambda: next(_txn_counter))
     status: TxnStatus = TxnStatus.ACTIVE
+    #: Multiversion snapshot-read transaction (``beginRO``): takes no
+    #: locks, runs no 2PC, and never participates in deadlocks.
+    read_only: bool = False
     start_time: float = 0.0
     end_time: float | None = None
     abort_reason: str | None = None

@@ -43,6 +43,13 @@ def site_durable_state(site: typing.Any) -> dict:
                 (name, site.copies.get(name)) for name in site.copies.items()
             )
         ),
+        # Multiversion chain image (repro.mvcc): the rebuilt version
+        # chains and the durable snapshot cut must replay identically too.
+        "mvcc": (
+            site.mvcc.digest_state()
+            if getattr(site, "mvcc", None) is not None
+            else None
+        ),
     }
 
 

@@ -249,6 +249,14 @@ class SiteWal:
                     txn: tuple(records)
                     for txn, records in self._unresolved.items()
                 },
+                # Multiversion chain tails + the durable snapshot cut
+                # (repro.mvcc); None when the subsystem is off. Duck-typed
+                # so the WAL has no dependency on repro.mvcc.
+                "mvcc": (
+                    self.site.mvcc.checkpoint_payload()  # type: ignore[attr-defined]
+                    if getattr(self.site, "mvcc", None) is not None
+                    else None
+                ),
             },
         )
         self.last_checkpoint_lsn = checkpoint_lsn
@@ -329,6 +337,12 @@ class SiteWal:
         self.last_checkpoint_lsn = checkpoint["lsn"]
         self._records_since_checkpoint = self.checkpoint_lag
         self.restore_high_commit = high_commit
+        mvcc = getattr(self.site, "mvcc", None)
+        if mvcc is not None:
+            # The reset/install hooks rebuilt single-version chains during
+            # the replay above; hand over the checkpointed chain tails and
+            # let the store re-derive its durable snapshot cut.
+            mvcc.on_restore(checkpoint.get("mvcc"))
         self.stats.replays += 1
         self.stats.records_replayed += replayed
         return RestoreResult(

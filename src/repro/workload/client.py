@@ -22,6 +22,13 @@ class ClientStats:
     aborted: int = 0
     refused: int = 0  # home site not operational
     latencies: list[float] = dataclasses.field(default_factory=list)
+    # Read-only (beginRO) outcomes, tracked separately so experiments
+    # can report RO vs RW availability and latency side by side.
+    ro_attempted: int = 0
+    ro_committed: int = 0
+    ro_aborted: int = 0
+    ro_refused: int = 0
+    ro_latencies: list[float] = dataclasses.field(default_factory=list)
 
     @property
     def availability(self) -> float:
@@ -30,12 +37,24 @@ class ClientStats:
             return 1.0
         return self.committed / self.attempted
 
+    @property
+    def ro_availability(self) -> float:
+        """Fraction of read-only attempts that committed."""
+        if self.ro_attempted == 0:
+            return 1.0
+        return self.ro_committed / self.ro_attempted
+
     def merge(self, other: "ClientStats") -> None:
         self.attempted += other.attempted
         self.committed += other.committed
         self.aborted += other.aborted
         self.refused += other.refused
         self.latencies.extend(other.latencies)
+        self.ro_attempted += other.ro_attempted
+        self.ro_committed += other.ro_committed
+        self.ro_aborted += other.ro_aborted
+        self.ro_refused += other.ro_refused
+        self.ro_latencies.extend(other.ro_latencies)
 
 
 class ClientPool:
@@ -47,6 +66,13 @@ class ClientPool:
     is wired to that site — the paper's availability story is about
     *data*, so experiments usually pin clients to surviving sites, but
     E1 also reports the refused counts).
+
+    Programs flagged ``read_only`` (the workload's ``ro_fraction`` knob)
+    are routed through ``submit_ro`` — the lock-free snapshot path — and
+    are attempted even while the home site is still RECOVERING, since
+    that is exactly when snapshot reads earn their keep. Setting
+    ``force_locking=True`` sends them through the ordinary locking path
+    instead (the E11 baseline).
     """
 
     def __init__(
@@ -58,6 +84,7 @@ class ClientPool:
         retries: int = 2,
         retry_delay: float = 5.0,
         home_sites: typing.Sequence[int] | None = None,
+        force_locking: bool = False,
     ) -> None:
         self.system = system
         self.generator = generator
@@ -65,6 +92,7 @@ class ClientPool:
         self.think_time = think_time
         self.retries = retries
         self.retry_delay = retry_delay
+        self.force_locking = force_locking
         self.home_sites = list(home_sites) if home_sites is not None else list(
             system.cluster.site_ids
         )
@@ -88,25 +116,56 @@ class ClientPool:
         kernel = self.system.kernel
         while kernel.now < deadline:
             program = self.generator.next_program()
+            read_only = getattr(program, "read_only", False)
             start = kernel.now
             self.stats.attempted += 1
+            if read_only:
+                self.stats.ro_attempted += 1
             outcome = yield from self._attempt(home, program)
             if outcome == "committed":
                 self.stats.committed += 1
                 self.stats.latencies.append(kernel.now - start)
+                if read_only:
+                    self.stats.ro_committed += 1
+                    self.stats.ro_latencies.append(kernel.now - start)
             elif outcome == "refused":
                 self.stats.refused += 1
+                if read_only:
+                    self.stats.ro_refused += 1
             else:
                 self.stats.aborted += 1
+                if read_only:
+                    self.stats.ro_aborted += 1
             if self.think_time > 0:
                 yield kernel.timeout(self.think_time)
 
     def _attempt(self, home: int, program) -> typing.Generator:  # noqa: C901 - state machine
         kernel = self.system.kernel
+        snapshot_path = (
+            getattr(program, "read_only", False) and not self.force_locking
+        )
         for attempt in range(1 + self.retries):
             # The client terminal is colocated with its home site: this is
             # a local attach to check status + submit, not remote access.
             site = self.system.cluster.site(home)  # replint: disable=REP003
+            if snapshot_path:
+                # Snapshot reads only need the site powered on: a
+                # RECOVERING home still answers them from its durable
+                # stale cut (the TM refuses if the mvcc subsystem is off).
+                if site.is_down:
+                    return "refused"
+                proc = self.system.tms[home].submit_ro(program)
+                try:
+                    yield proc
+                    return "committed"
+                except NotOperational:
+                    return "refused"
+                except Interrupt:
+                    return "refused"  # home site crashed mid-read
+                except TransactionAborted:
+                    if attempt < self.retries:
+                        yield kernel.timeout(self.retry_delay)
+                continue
             if not site.is_operational:
                 return "refused"
             # Submit through the site so a crash interrupts the attempt

@@ -26,6 +26,12 @@ class WorkloadSpec:
     read_modify_write:
         If True, writes are preceded by a read of the same item (the
         bank/inventory pattern); otherwise blind writes.
+    ro_fraction:
+        Probability that a whole transaction is a read-only *snapshot*
+        transaction (``beginRO``): the client routes it through
+        ``submit_ro`` where it reads a pinned committed snapshot with no
+        locks and no 2PC. 0 disables the path entirely (and draws
+        nothing from the RNG, so existing workloads replay unchanged).
     """
 
     n_items: int = 32
@@ -33,6 +39,7 @@ class WorkloadSpec:
     write_fraction: float = 0.3
     zipf_s: float = 0.0
     read_modify_write: bool = True
+    ro_fraction: float = 0.0
 
     def item_names(self) -> list[str]:
         return [f"X{i}" for i in range(self.n_items)]
@@ -93,8 +100,18 @@ class WorkloadGenerator:
         return [f"X{i}" for i in sorted(chosen)]
 
     def next_program(self) -> typing.Callable:
-        """A fresh random transaction program."""
+        """A fresh random transaction program.
+
+        Programs flagged ``read_only`` must be routed via ``submit_ro``
+        (they call the snapshot-read context API); the clients in
+        :mod:`repro.workload.client` check the flag.
+        """
         spec = self.spec
+        # Guarded draw: workloads with ro_fraction == 0 consume exactly
+        # the same RNG sequence as before the knob existed, keeping
+        # e1-e10 replays byte-identical.
+        if spec.ro_fraction > 0 and self.rng.random() < spec.ro_fraction:
+            return self._next_ro_program()
         ops: list[tuple[str, str]] = []
         items = self._pick_items(spec.ops_per_txn)
         for item in items:
@@ -120,3 +137,15 @@ class WorkloadGenerator:
             return results
 
         return program
+
+    def _next_ro_program(self) -> typing.Callable:
+        """A read-only snapshot program over a random item batch."""
+        items = tuple(self._pick_items(self.spec.ops_per_txn))
+        self.generated += 1
+
+        def ro_program(ctx):
+            values = yield from ctx.read_many(items)
+            return dict(zip(items, values))
+
+        ro_program.read_only = True  # type: ignore[attr-defined]
+        return ro_program

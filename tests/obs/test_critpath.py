@@ -75,6 +75,23 @@ class TestAttributeTxn:
         parts = [charges[name] for name in CATEGORIES]
         assert sum(parts) + charges["unattributed"] == charges["total"]
 
+    def test_ro_serve_bucket_takes_whole_snapshot_round(self):
+        # A read-only txn's snapshot-read round: both the rpc and its
+        # serve span map to ro_serve (service *and* transit), so the
+        # whole ack latency of a lock-free RO txn lands in one bucket.
+        spans = [
+            _root(0.0, 6.0, ack=6.0),
+            _span(2, 1, "rpc:dm.read_snapshot", "rpc", 0.0, 6.0),
+            _span(3, 2, "serve:dm.read_snapshot", "serve", 2.0, 4.0),
+        ]
+        charges = attribute_txn(spans[0], _children(spans))
+        assert charges["ro_serve"] == 6.0
+        assert charges["network"] == 0.0
+        assert charges["lock_wait"] == 0.0
+        assert charges["unattributed"] == 0.0
+        parts = [charges[name] for name in CATEGORIES]
+        assert sum(parts) == charges["total"] == 6.0
+
     def test_priority_lock_wins_inside_serve(self):
         # A remote lock wait inside a serve inside an rpc: the instant
         # charges to the most specific category, not the container.

@@ -16,7 +16,7 @@ from repro.obs.scenarios import run_traced, scenario_names
 class TestScenarios:
     def test_all_experiments_have_scenarios(self):
         assert scenario_names() == sorted(
-            [f"e{n}" for n in range(1, 11)] + ["e10sync"]
+            [f"e{n}" for n in range(1, 12)] + ["e10sync", "e11sync"]
         )
 
     def test_unknown_experiment_rejected(self):
