@@ -10,6 +10,8 @@ Usage::
     python -m repro metrics --experiment e2 [--out metrics.json]
     python -m repro audit --experiment e2 [--out alerts.jsonl]
     python -m repro latency --experiment e10 [--out budget.json] [--series ts.jsonl]
+    python -m repro profile --experiment e11 [--sample] [--folded f.txt]
+        [--speedscope s.json] [--out prof.json]
 
 Each experiment prints the table documented in EXPERIMENTS.md; ``small``
 scale finishes in a few seconds per experiment, ``full`` matches the
@@ -38,6 +40,16 @@ per-outage throughput troughs (:mod:`repro.obs.timeseries`). For
 the sync baseline) so the budget tables line up side by side;
 ``--out`` saves the machine-readable JSON and ``--series`` the sampled
 time-series JSONL.
+
+``profile`` runs a traced scenario with the **host-CPU profiler**
+attached to the kernel dispatch loop (:mod:`repro.obs.profiler`):
+exclusive host CPU attributed per subsystem (kernel/net/tm/dm/locks/
+wal/copier/mvcc/audit/obs/workload), printed as a table whose rows sum
+to the dispatch wall time. ``--folded``/``--speedscope`` export the
+*sim-time* flamegraph collapsed from the span tree; ``--sample`` adds
+``sys.setprofile`` host folded stacks; ``--out`` saves everything as
+JSON. The profiler's own overhead is gated by ``bench --check``
+(``kernel_events_profiled_per_s`` under ``--max-overhead``).
 
 ``audit`` runs the same traced scenario under the online protocol
 auditor (:mod:`repro.audit`): live 1-STG cycle detection, session
@@ -159,7 +171,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         help="experiment id (e1..e11), 'all', 'list', 'bench', 'trace', "
-        "'metrics', 'audit', 'latency', or 'lint'",
+        "'metrics', 'audit', 'latency', 'profile', or 'lint'",
     )
     parser.add_argument("--seed", type=int, default=3, help="master seed")
     parser.add_argument(
@@ -209,12 +221,12 @@ def build_parser() -> argparse.ArgumentParser:
         "standalone file (trace default: trace.json; audit default: "
         "alerts.jsonl)",
     )
-    # trace/metrics/audit/latency options (ignored by other subcommands).
+    # trace/metrics/audit/latency/profile options (ignored elsewhere).
     parser.add_argument(
         "--experiment", dest="scenario", default="e2", metavar="EID",
-        help="trace/metrics/audit/latency: which experiment's traced "
-        "scenario to run (default: e2; latency runs both commit modes "
-        "for e10)",
+        help="trace/metrics/audit/latency/profile: which experiment's "
+        "traced scenario to run (default: e2; latency runs both commit "
+        "modes for e10)",
     )
     parser.add_argument(
         "--jsonl", default=None, metavar="PATH",
@@ -229,6 +241,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--series", default=None, metavar="PATH",
         help="latency: write the sampled time series as JSONL here "
         "(both modes appended for e10)",
+    )
+    # profile-only options (ignored by the other subcommands).
+    parser.add_argument(
+        "--sample", action="store_true",
+        help="profile: also run the sys.setprofile host-stack sampler "
+        "over the scenario (slow; folded stacks land in --out)",
+    )
+    parser.add_argument(
+        "--folded", default=None, metavar="PATH",
+        help="profile: write the sim-time flamegraph as flamegraph.pl "
+        "collapsed folded stacks",
+    )
+    parser.add_argument(
+        "--speedscope", default=None, metavar="PATH",
+        help="profile: write the sim-time flamegraph as speedscope JSON "
+        "(open at https://www.speedscope.app)",
     )
     # lint-only options (ignored by the other subcommands).
     parser.add_argument(
@@ -326,6 +354,10 @@ def run_bench(args: argparse.Namespace) -> int:
     if mvcc_overhead is not None:
         print(f"mvcc_write_overhead: {mvcc_overhead:.1%}")
         metrics["mvcc_write_overhead_pct"] = mvcc_overhead * 100
+    profiler_overhead = bench.profiler_overhead_fraction(metrics)
+    if profiler_overhead is not None:
+        print(f"profiler_overhead: {profiler_overhead:.1%}")
+        metrics["profiler_overhead_pct"] = profiler_overhead * 100
 
     exit_code = 0
     if args.check:
@@ -343,6 +375,11 @@ def run_bench(args: argparse.Namespace) -> int:
             print(report)
             if not ok:
                 exit_code = 1
+            base_profile = baseline.get("obs", {}).get("profile")
+            cur_profile = snapshots.get("profile")
+            if base_profile and cur_profile:
+                for line in bench.share_drift(base_profile, cur_profile):
+                    print(line)
         if overhead is not None and overhead > args.max_overhead:
             print(f"instrumentation overhead {overhead:.1%} exceeds "
                   f"--max-overhead {args.max_overhead:.0%}  << REGRESSION")
@@ -353,6 +390,10 @@ def run_bench(args: argparse.Namespace) -> int:
             exit_code = 1
         if mvcc_overhead is not None and mvcc_overhead > args.max_overhead:
             print(f"mvcc write overhead {mvcc_overhead:.1%} exceeds "
+                  f"--max-overhead {args.max_overhead:.0%}  << REGRESSION")
+            exit_code = 1
+        if profiler_overhead is not None and profiler_overhead > args.max_overhead:
+            print(f"profiler overhead {profiler_overhead:.1%} exceeds "
                   f"--max-overhead {args.max_overhead:.0%}  << REGRESSION")
             exit_code = 1
     if not args.no_append:
@@ -489,6 +530,85 @@ def run_latency(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_profile(args: argparse.Namespace) -> int:
+    """The ``profile`` subcommand: host-CPU attribution + flamegraphs.
+
+    Runs the traced scenario with the host-CPU profiler attached to
+    the kernel dispatch loop and prints the per-subsystem attribution
+    table (also folded into the recovery-timeline report for any
+    profiled run). ``--folded`` / ``--speedscope`` export the sim-time
+    flamegraph collapsed from the span tree; ``--sample`` additionally
+    traces host stacks via ``sys.setprofile``; ``--out`` saves the
+    machine-readable JSON. Exit status: 0 on success, 2 on an unknown
+    experiment name.
+    """
+    import json
+
+    from repro.obs.profiler import (
+        StackSampler,
+        export_folded,
+        export_speedscope,
+        folded_stacks,
+        render_profile,
+    )
+    from repro.obs.report import recovery_timeline, render_recovery_timeline
+    from repro.obs.scenarios import run_traced
+
+    sampler = StackSampler() if args.sample else None
+    try:
+        if sampler is not None:
+            sampler.start()
+        try:
+            run = run_traced(args.scenario, seed=args.seed, profile=True)
+        finally:
+            if sampler is not None:
+                sampler.stop()
+    except ValueError as exc:
+        print(f"profile: {exc}", file=sys.stderr)
+        return 2
+    report = run.obs.profiler.report()
+    print(render_profile(report))
+    label = f"{run.experiment}@seed={args.seed}"
+    sim_folded = folded_stacks(run.obs.spans)
+    if args.speedscope:
+        n_stacks = export_speedscope(run.obs.spans, args.speedscope, label=label)
+        print(f"{args.speedscope}: speedscope profile, {n_stacks} sim-time "
+              "stacks — open at https://www.speedscope.app")
+    if args.folded:
+        n_lines = export_folded(sim_folded, args.folded)
+        print(f"{args.folded}: {n_lines} folded sim-time stacks "
+              "(flamegraph.pl collapsed format)")
+    if sampler is not None:
+        for stack, seconds in sampler.top(5):
+            print(f"host {seconds:.4f}s  {';'.join(stack[-4:])}")
+    if args.out:
+        document: dict = {
+            "experiment": run.experiment,
+            "seed": args.seed,
+            "host": report,
+            "sim_folded": [
+                {"stack": list(stack), "sim_time": value}
+                for stack, value in sorted(sim_folded.items())
+            ],
+        }
+        if sampler is not None:
+            document["host_folded"] = [
+                {"stack": list(stack), "cpu_s": value}
+                for stack, value in sorted(sampler.folded().items())
+            ]
+        with open(args.out, "w") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote profile to {args.out}")
+    for key, value in run.summary.items():
+        print(f"{key}: {value}")
+    print()
+    timeline = recovery_timeline(run.system)
+    timeline.pop("profile", None)  # the table already led the output
+    print(render_recovery_timeline(timeline))
+    return 0
+
+
 def run_audit(args: argparse.Namespace) -> int:
     """The ``audit`` subcommand: traced scenario under the auditor.
 
@@ -542,6 +662,8 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         return run_audit(args)
     if name == "latency":
         return run_latency(args)
+    if name == "profile":
+        return run_profile(args)
     if name == "lint":
         from repro.lint.cli import run_lint
 

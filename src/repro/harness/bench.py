@@ -23,6 +23,7 @@ Trajectory schema::
             "kernel_events_per_s": 650000.0,
             "kernel_events_obs_off_per_s": 645000.0,
             "kernel_events_sampled_per_s": 640000.0,
+            "kernel_events_profiled_per_s": 638000.0,
             "timeout_churn_per_s": 800000.0,
             "copier_refresh_per_s": 12.5,
             "copier_refresh_audited_per_s": 12.0,
@@ -36,7 +37,10 @@ Trajectory schema::
             "txn_wall_per_s": 2600.0,
             "txn_wall_mvcc_off_per_s": 2650.0
           },
-          "obs": {"copier_refresh": {"...": "global metrics snapshot"}}
+          "obs": {
+            "copier_refresh": {"...": "global metrics snapshot"},
+            "profile": {"copier_refresh": {"net": 0.6, "...": "..."}}
+          }
         }
       ]
     }
@@ -57,7 +61,12 @@ overhead with tracing disabled — ``--check`` bounds it at 5%. The
 role for the multiversion store's write hooks (``repro.mvcc``): the
 wall-clock RMW bench with snapshot support on vs off, gated under the
 same 5% bound; ``ro_read_throughput_per_s`` tracks the snapshot-read
-service rate itself.
+service rate itself. ``kernel_events_profiled_per_s`` is the host-CPU
+profiler's twin (``repro profile``'s attribution view, run-length
+batched clock reads), gated under the same 5% bound, and the
+``obs.profile`` map records where the system-level benches actually
+spend CPU per subsystem — compared advisorily across entries by
+``--check`` (see :func:`share_drift`).
 """
 
 from __future__ import annotations
@@ -66,6 +75,7 @@ import json
 import time
 import typing
 
+from repro.obs import hostclock
 from repro.sim.kernel import Kernel
 
 #: The metric the regression gate checks by default: the kernel's raw
@@ -78,13 +88,16 @@ def _best_of(fn: typing.Callable[[], int], repeats: int) -> float:
     """Best (events/second) over ``repeats`` runs of ``fn``.
 
     ``fn`` returns the number of units it processed; best-of-N is the
-    standard way to suppress scheduler noise on busy machines.
+    standard way to suppress scheduler noise on busy machines. Wall
+    time comes from :mod:`repro.obs.hostclock`, the sanctioned
+    monotonic-clock seam (``time`` here is only for trajectory
+    timestamps).
     """
     best = 0.0
     for _ in range(repeats):
-        start = time.perf_counter()
+        start = hostclock.now()
         units = fn()
-        wall = time.perf_counter() - start
+        wall = hostclock.now() - start
         if wall > 0:
             best = max(best, units / wall)
     return best
@@ -164,6 +177,39 @@ def bench_kernel_events_sampled(n: int = 10_000, repeats: int = 10) -> float:
     return _best_of(run, repeats)
 
 
+def bench_kernel_events_profiled(n: int = 10_000, repeats: int = 10) -> float:
+    """The kernel-events workload with the host-CPU profiler attached.
+
+    The profiled twin of :func:`bench_kernel_events`: the drain loop
+    runs through ``Kernel._run_profiled``, reading the host clock at
+    *run boundaries* (signature changes) rather than per event. The gap
+    against the plain number is the ``profiler_overhead`` that
+    ``--check`` bounds under the same <5% gate as the rest of the
+    observability layer — it guards the run-length batching that makes
+    ``repro profile`` affordable (a naive per-event clock read costs
+    ~16% on this workload).
+    """
+    from repro.obs.profiler import HostProfiler
+
+    def run() -> int:
+        kernel = Kernel(seed=0)
+        profiler = HostProfiler()
+        profiler.attach(kernel)
+        for index in range(n):
+            kernel.timeout(index % 97)
+        kernel.run()
+        assert profiler.total_events == kernel.events_processed
+        return kernel.events_processed
+
+    # One discarded warmup run (see bench_txn_wall): the profiled loop
+    # is separate bytecode from the plain one and pays the adaptive
+    # interpreter's specialization cost on its first execution —
+    # measured at ~10% on a cold first run vs ~2% warm, enough to
+    # randomly trip the overhead gate.
+    run()
+    return _best_of(run, repeats)
+
+
 def bench_timeout_churn(n: int = 10_000, repeats: int = 10) -> float:
     """RPC-style timeout churn: schedule ``n`` timers, cancel 90%.
 
@@ -193,7 +239,7 @@ def _noop() -> None:
 
 def bench_copier_refresh(
     n_items: int = 16, repeats: int = 3, snapshots: dict | None = None,
-    audit: bool = False,
+    audit: bool = False, profile_shares: dict | None = None,
 ) -> float:
     """Copier renovation throughput: stale copies refreshed per second.
 
@@ -210,6 +256,10 @@ def bench_copier_refresh(
     checking, recorded in the trajectory but not gated — the <5%
     ``--max-overhead`` gate covers the auditor-*off* path, which stays
     hook-free.
+
+    ``profile_shares``, if given, attaches a host-CPU profiler and
+    fills the dict with the run's per-subsystem CPU shares (see
+    :func:`profile_shares`); such runs are for attribution, not timing.
     """
     from repro.baselines import build_rowaa_system
     from repro.net.latency import ConstantLatency
@@ -221,6 +271,12 @@ def bench_copier_refresh(
             kernel, 3, {f"X{i}": 0 for i in range(n_items)},
             latency=ConstantLatency(1.0), config=TxnConfig(),
         )
+        profiler = None
+        if profile_shares is not None:
+            from repro.obs.profiler import HostProfiler
+
+            profiler = HostProfiler()
+            profiler.attach(kernel)
         if audit:
             from repro.audit import attach_auditor
 
@@ -245,6 +301,11 @@ def bench_copier_refresh(
         assert copied >= n_items
         if snapshots is not None:
             snapshots["copier_refresh"] = system.obs.registry.snapshot()["global"]
+        if profiler is not None and profile_shares is not None:
+            profile_shares.clear()
+            profile_shares.update(
+                {label: round(share, 4) for label, share in profiler.shares().items()}
+            )
         return copied
 
     return _best_of(run, repeats)
@@ -385,7 +446,7 @@ def bench_ro_read_throughput(
 
 def bench_txn_wall(
     n_txns: int = 200, n_clients: int = 4, mvcc: bool = True,
-    repeats: int = 3,
+    repeats: int = 3, profile_shares: dict | None = None,
 ) -> float:
     """Wall-clock RMW commit rate with the mvcc write hooks on or off.
 
@@ -394,6 +455,7 @@ def bench_txn_wall(
     observe hook's cost because it runs between events. The on/off pair
     is the writer-overhead gate (:func:`ro_overhead_fraction`): snapshot
     reads must not tax the RW write path by more than ``--max-overhead``.
+    ``profile_shares`` works as in :func:`bench_copier_refresh`.
     """
     from repro.baselines import StrictROWA
     from repro.net.latency import ConstantLatency
@@ -410,6 +472,12 @@ def bench_txn_wall(
             latency=ConstantLatency(1.0),
             config=TxnConfig(mvcc=mvcc),
         )
+        profiler = None
+        if profile_shares is not None:
+            from repro.obs.profiler import HostProfiler
+
+            profiler = HostProfiler()
+            profiler.attach(kernel)
         system.boot()
 
         def client(c: int):
@@ -430,6 +498,11 @@ def bench_txn_wall(
         for proc in procs:
             kernel.run(proc)
         system.stop()
+        if profiler is not None and profile_shares is not None:
+            profile_shares.clear()
+            profile_shares.update(
+                {label: round(share, 4) for label, share in profiler.shares().items()}
+            )
         return per_client * n_clients
 
     # One discarded warmup run: the on/off twins are compared as a
@@ -486,11 +559,78 @@ def attribution_overhead_fraction(metrics: dict) -> float | None:
     return max(0.0, 1.0 - sampled / plain)
 
 
+def profiler_overhead_fraction(metrics: dict) -> float | None:
+    """Host-CPU-profiler overhead on the kernel-events bench.
+
+    ``1 - profiled/plain``: the fraction of kernel event throughput
+    lost to running the drain loop through ``Kernel._run_profiled``
+    with its run-length-batched clock reads — the cost of
+    ``repro profile``'s attribution view when it is switched on.
+    Clamped at 0; ``None`` when either metric is missing.
+    """
+    plain = metrics.get("kernel_events_per_s")
+    profiled = metrics.get("kernel_events_profiled_per_s")
+    if not plain or not profiled:
+        return None
+    return max(0.0, 1.0 - profiled / plain)
+
+
+def profile_shares(quick: bool = False) -> dict:
+    """Per-subsystem host-CPU shares of the two system-level workloads.
+
+    Runs a small copier-refresh recovery and a short RMW commit loop
+    with a :class:`~repro.obs.profiler.HostProfiler` attached and
+    records where the interpreter actually spends its time (shares
+    rounded to 4 decimals). Stored under the trajectory entry's
+    ``obs.profile`` key; ``bench --check`` compares it against the
+    baseline entry and prints *advisory* drift lines (see
+    :func:`share_drift`) — shares move with interpreter version and
+    workload tuning, so they inform rather than gate. Untimed: these
+    runs exist for attribution, not throughput.
+    """
+    copier: dict = {}
+    bench_copier_refresh(
+        n_items=4 if quick else 8, repeats=1, profile_shares=copier
+    )
+    txn: dict = {}
+    bench_txn_wall(
+        n_txns=20 if quick else 60, repeats=1, profile_shares=txn
+    )
+    return {"copier_refresh": copier, "txn_rmw": txn}
+
+
+def share_drift(
+    baseline: dict, current: dict, threshold: float = 0.10
+) -> list[str]:
+    """Advisory CPU-share drift lines between two ``obs.profile`` maps.
+
+    Reports every subsystem whose share of a common workload moved by
+    more than ``threshold`` (10 points by default) in either direction.
+    Advisory only: the lines are printed by ``bench --check`` but never
+    fail the gate.
+    """
+    lines = []
+    for workload in sorted(set(baseline) & set(current)):
+        old_map = baseline[workload] or {}
+        new_map = current[workload] or {}
+        for label in sorted(set(old_map) | set(new_map)):
+            old = float(old_map.get(label, 0.0))
+            new = float(new_map.get(label, 0.0))
+            if abs(new - old) > threshold:
+                lines.append(
+                    f"profile share drift {workload}/{label}: "
+                    f"{old:.1%} -> {new:.1%}  (advisory)"
+                )
+    return lines
+
+
 def run_suite(quick: bool = False, snapshots: dict | None = None) -> dict:
     """Run every microbench; returns ``{metric: value}``.
 
     ``snapshots``, if given, is filled with the global metrics snapshot
-    of the system-level benches (see :func:`bench_copier_refresh`).
+    of the system-level benches (see :func:`bench_copier_refresh`) plus
+    the per-subsystem host-CPU shares under ``"profile"`` (see
+    :func:`profile_shares`).
     """
     n_txns = 60 if quick else 200
     sync = bench_txn_throughput(
@@ -518,6 +658,8 @@ def run_suite(quick: bool = False, snapshots: dict | None = None) -> dict:
             n_txns=n_txns, mvcc=False, repeats=2 if quick else 3
         ),
     }
+    if snapshots is not None:
+        snapshots["profile"] = profile_shares(quick=quick)
     if quick:
         return {
             "kernel_events_per_s": bench_kernel_events(n=4_000, repeats=3),
@@ -525,6 +667,9 @@ def run_suite(quick: bool = False, snapshots: dict | None = None) -> dict:
                 n=4_000, repeats=3
             ),
             "kernel_events_sampled_per_s": bench_kernel_events_sampled(
+                n=4_000, repeats=3
+            ),
+            "kernel_events_profiled_per_s": bench_kernel_events_profiled(
                 n=4_000, repeats=3
             ),
             "timeout_churn_per_s": bench_timeout_churn(n=4_000, repeats=3),
@@ -541,6 +686,7 @@ def run_suite(quick: bool = False, snapshots: dict | None = None) -> dict:
         "kernel_events_per_s": bench_kernel_events(),
         "kernel_events_obs_off_per_s": bench_kernel_events_obs_off(),
         "kernel_events_sampled_per_s": bench_kernel_events_sampled(),
+        "kernel_events_profiled_per_s": bench_kernel_events_profiled(),
         "timeout_churn_per_s": bench_timeout_churn(),
         "copier_refresh_per_s": bench_copier_refresh(snapshots=snapshots),
         "copier_refresh_audited_per_s": bench_copier_refresh(audit=True),

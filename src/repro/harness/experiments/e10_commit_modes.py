@@ -171,13 +171,16 @@ def _one_trial(mode, seed, n_sites, n_items, duration):
     }
 
 
-def _traced(seed: int, mode: str, audit: bool, sample_period: float | None = None):
+def _traced(
+    seed: int, mode: str, audit: bool,
+    sample_period: float | None = None, profile: bool = False,
+):
     """One traced run of ``mode`` for ``repro trace/metrics/audit/latency``."""
     n_sites, n_items, duration = 4, 48, 400.0
     spec = _spec(n_items)
     kernel, system, obs = build_traced_scheme(
         "rowaa", seed, n_sites, spec.initial_items(), audit=audit,
-        sample_period=sample_period,
+        sample_period=sample_period, profile=profile,
         txn_config=TxnConfig(rpc_timeout=10.0, commit_mode=mode),
     )
     rngs = RngRegistry(seed)
@@ -208,14 +211,16 @@ def _traced(seed: int, mode: str, audit: bool, sample_period: float | None = Non
 
 
 def traced_scenario(
-    seed: int = 0, audit: bool = False, sample_period: float | None = None
+    seed: int = 0, audit: bool = False,
+    sample_period: float | None = None, profile: bool = False,
 ):
     """The async fast path under outages (``repro audit e10``)."""
-    return _traced(seed, "async_quorum", audit, sample_period)
+    return _traced(seed, "async_quorum", audit, sample_period, profile)
 
 
 def traced_scenario_sync(
-    seed: int = 0, audit: bool = False, sample_period: float | None = None
+    seed: int = 0, audit: bool = False,
+    sample_period: float | None = None, profile: bool = False,
 ):
     """The sync baseline on the identical schedule (``e10sync``)."""
-    return _traced(seed, "sync_2pc", audit, sample_period)
+    return _traced(seed, "sync_2pc", audit, sample_period, profile)

@@ -178,13 +178,16 @@ def _verdict(variant, system, pool):
     }
 
 
-def _traced(seed: int, variant: str, audit: bool, sample_period: float | None = None):
+def _traced(
+    seed: int, variant: str, audit: bool,
+    sample_period: float | None = None, profile: bool = False,
+):
     """One traced run of ``variant`` for ``repro trace/metrics/audit/latency``."""
     n_sites, n_items, duration = 4, 32, 400.0
     spec = _spec(n_items)
     kernel, system, obs = build_traced_scheme(
         "rowaa", seed, n_sites, spec.initial_items(), audit=audit,
-        sample_period=sample_period,
+        sample_period=sample_period, profile=profile,
         txn_config=TxnConfig(rpc_timeout=10.0),
     )
     rngs = RngRegistry(seed)
@@ -209,14 +212,16 @@ def _traced(seed: int, variant: str, audit: bool, sample_period: float | None = 
 
 
 def traced_scenario(
-    seed: int = 0, audit: bool = False, sample_period: float | None = None
+    seed: int = 0, audit: bool = False,
+    sample_period: float | None = None, profile: bool = False,
 ):
     """The snapshot-read path under outages (``repro audit e11``)."""
-    return _traced(seed, "mvcc", audit, sample_period)
+    return _traced(seed, "mvcc", audit, sample_period, profile)
 
 
 def traced_scenario_sync(
-    seed: int = 0, audit: bool = False, sample_period: float | None = None
+    seed: int = 0, audit: bool = False,
+    sample_period: float | None = None, profile: bool = False,
 ):
     """The lock-based baseline on the identical schedule (``e11sync``)."""
-    return _traced(seed, "locking", audit, sample_period)
+    return _traced(seed, "locking", audit, sample_period, profile)

@@ -142,7 +142,8 @@ def _one_cell(scheme, seed, n_sites, replication, spec, failed, load_duration):
 
 
 def traced_scenario(
-    seed: int = 0, audit: bool = False, sample_period: float | None = None
+    seed: int = 0, audit: bool = False,
+    sample_period: float | None = None, profile: bool = False,
 ):
     """One traced cell for ``repro trace``: one crashed site, mixed load.
 
@@ -157,7 +158,7 @@ def traced_scenario(
     kernel, system, obs = build_traced_scheme(
         "rowaa", cell_seed("e1-trace", seed), n_sites, spec.initial_items(),
         catalog=catalog,
-        audit=audit, sample_period=sample_period,
+        audit=audit, sample_period=sample_period, profile=profile,
     )
     system.crash(n_sites)
     settle(kernel, system, 80.0)

@@ -135,7 +135,8 @@ def _caught_up_time(kernel, system, scheme, victim, power_at):
 
 
 def traced_scenario(
-    seed: int = 0, audit: bool = False, sample_period: float | None = None
+    seed: int = 0, audit: bool = False,
+    sample_period: float | None = None, profile: bool = False,
 ):
     """One traced rowaa cell for ``repro trace``: crash, miss, reboot, drain.
 
@@ -148,7 +149,7 @@ def traced_scenario(
     spec = WorkloadSpec(n_items=n_items)
     kernel, system, obs = build_traced_scheme(
         "rowaa", seed * 37 + missed, n_sites, spec.initial_items(),
-        audit=audit, sample_period=sample_period,
+        audit=audit, sample_period=sample_period, profile=profile,
     )
     victim = n_sites
     system.crash(victim)

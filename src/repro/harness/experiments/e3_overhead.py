@@ -136,7 +136,8 @@ def _one_cell(scheme, seed, n_sites, n_items, load_duration, n_clients):
 
 
 def traced_scenario(
-    seed: int = 0, audit: bool = False, sample_period: float | None = None
+    seed: int = 0, audit: bool = False,
+    sample_period: float | None = None, profile: bool = False,
 ):
     """One traced failure-free cell for ``repro trace``.
 
@@ -148,7 +149,7 @@ def traced_scenario(
     spec = WorkloadSpec(n_items=n_items, ops_per_txn=3, write_fraction=0.3)
     kernel, system, obs = build_traced_scheme(
         "rowaa", seed * 13 + n_sites, n_sites, spec.initial_items(),
-        audit=audit, sample_period=sample_period,
+        audit=audit, sample_period=sample_period, profile=profile,
     )
     rng = random.Random(seed + n_sites)
     pool = ClientPool(

@@ -142,7 +142,8 @@ def _one_cell(seed, n_sites, n_items, stale_fraction, read_duration, mode):
 
 
 def traced_scenario(
-    seed: int = 0, audit: bool = False, sample_period: float | None = None
+    seed: int = 0, audit: bool = False,
+    sample_period: float | None = None, profile: bool = False,
 ):
     """One traced eager-copier cell for ``repro trace``.
 
@@ -155,7 +156,7 @@ def traced_scenario(
     kernel, system, obs = build_traced_scheme(
         "rowaa", cell_seed("e4-trace", seed), n_sites, spec.initial_items(),
         rowaa_config=RowaaConfig(copier_mode="eager", unreadable_policy="redirect"),
-        audit=audit, sample_period=sample_period,
+        audit=audit, sample_period=sample_period, profile=profile,
     )
     victim = n_sites
     system.crash(victim)

@@ -157,7 +157,8 @@ def _one_trial(scenario, seed, n_sites, n_items):
 
 
 def traced_scenario(
-    seed: int = 0, audit: bool = False, sample_period: float | None = None
+    seed: int = 0, audit: bool = False,
+    sample_period: float | None = None, profile: bool = False,
 ):
     """One traced crash-during-t1 trial for ``repro trace``.
 
@@ -169,7 +170,7 @@ def traced_scenario(
     spec = WorkloadSpec(n_items=n_items)
     kernel, system, obs = build_traced_scheme(
         "rowaa", seed, n_sites, spec.initial_items(),
-        audit=audit, sample_period=sample_period,
+        audit=audit, sample_period=sample_period, profile=profile,
     )
     rng = random.Random(seed)
     system.crash(n_sites)

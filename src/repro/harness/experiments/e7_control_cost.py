@@ -109,7 +109,8 @@ def _one_cell(scheme, seed, n_sites, n_items):
 
 
 def traced_scenario(
-    seed: int = 0, audit: bool = False, sample_period: float | None = None
+    seed: int = 0, audit: bool = False,
+    sample_period: float | None = None, profile: bool = False,
 ):
     """One traced quiet crash/reboot cycle for ``repro trace``.
 
@@ -121,7 +122,7 @@ def traced_scenario(
     spec = WorkloadSpec(n_items=n_items)
     kernel, system, obs = build_traced_scheme(
         "rowaa", seed * 53 + n_items, n_sites, spec.initial_items(),
-        audit=audit, sample_period=sample_period,
+        audit=audit, sample_period=sample_period, profile=profile,
     )
     baseline_msgs = system.cluster.network.stats.sent
     victim = n_sites

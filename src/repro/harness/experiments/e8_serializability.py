@@ -137,7 +137,8 @@ def _one_run(scheme, seed, n_sites, n_items, duration):
 
 
 def traced_scenario(
-    seed: int = 0, audit: bool = False, sample_period: float | None = None
+    seed: int = 0, audit: bool = False,
+    sample_period: float | None = None, profile: bool = False,
 ):
     """One traced randomized crash/recovery run for ``repro trace``.
 
@@ -151,7 +152,7 @@ def traced_scenario(
     )
     kernel, system, obs = build_traced_scheme(
         "rowaa", seed, n_sites, spec.initial_items(),
-        audit=audit, sample_period=sample_period,
+        audit=audit, sample_period=sample_period, profile=profile,
     )
     rngs = RngRegistry(seed)
     schedule = FailureSchedule.random_failures(

@@ -192,7 +192,8 @@ def _one_cell(seed, n_sites, n_items, missed, mode, truncate):
 
 
 def traced_scenario(
-    seed: int = 0, audit: bool = False, sample_period: float | None = None
+    seed: int = 0, audit: bool = False,
+    sample_period: float | None = None, profile: bool = False,
 ):
     """One traced log-shipping recovery for ``repro trace``.
 
@@ -206,7 +207,7 @@ def traced_scenario(
         rowaa_config=RowaaConfig(
             copier_mode="eager", catchup_mode="log_ship", log_ship_batch=4
         ),
-        audit=audit, sample_period=sample_period,
+        audit=audit, sample_period=sample_period, profile=profile,
     )
     victim = n_sites
     system.crash(victim)

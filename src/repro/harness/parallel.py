@@ -22,8 +22,9 @@ from __future__ import annotations
 import dataclasses
 import json
 import multiprocessing
-import time
 import typing
+
+from repro.obs import hostclock
 
 
 @dataclasses.dataclass(frozen=True)
@@ -53,9 +54,9 @@ class CellTiming:
 
 def execute_cell(cell: Cell) -> tuple[object, float]:
     """Run one cell; returns (result, wall seconds). Pool-worker entry."""
-    start = time.perf_counter()
+    start = hostclock.now()
     result = cell.fn(**cell.kwargs)
-    return result, time.perf_counter() - start
+    return result, hostclock.now() - start
 
 
 def run_cells(

@@ -68,6 +68,7 @@ def build_traced_scheme(
     txn_config: TxnConfig | None = None,
     audit: bool = False,
     sample_period: float | None = None,
+    profile: bool = False,
     **kwargs: typing.Any,
 ) -> tuple[Kernel, DatabaseSystem, Observability]:
     """Like :func:`build_scheme`, but with spans + timeline recording on.
@@ -80,7 +81,10 @@ def build_traced_scheme(
     runs; its alert log rides on ``obs.audit``. With ``sample_period``
     set, a windowed time-series sampler
     (:func:`repro.obs.timeseries.attach_sampler`) ticks at that period
-    from boot; it rides on ``obs.sampler``.
+    from boot; it rides on ``obs.sampler``. With ``profile=True``
+    (``repro profile``) a host-CPU profiler
+    (:func:`repro.obs.profiler.attach_profiler`) instruments the kernel
+    dispatch loop from here on; it rides on ``obs.profiler``.
     """
     kernel = Kernel(seed=seed)
     obs = Observability(kernel, spans=True, timeline=True)
@@ -104,6 +108,10 @@ def build_traced_scheme(
         from repro.obs.timeseries import attach_sampler
 
         attach_sampler(system, sample_period)
+    if profile:
+        from repro.obs.profiler import attach_profiler
+
+        attach_profiler(system)
     return kernel, system, obs
 
 

@@ -66,6 +66,11 @@ class Observability:
         #: default; exporters and the recovery-timeline report pick it up
         #: when present.
         self.sampler: typing.Any = None
+        #: The attached host-CPU profiler
+        #: (:func:`repro.obs.profiler.attach_profiler`), or None. The
+        #: kernel dispatch loop tests its *own* handle for None-ness;
+        #: this one is for reports and the ``repro profile`` CLI.
+        self.profiler: typing.Any = None
 
     @property
     def spans_on(self) -> bool:

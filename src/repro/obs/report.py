@@ -14,10 +14,12 @@ about (experiments E2/E4/E6):
 * **session-mismatch rejections** — how often this site's DM bounced a
   stale-view request (the protocol's correctness tax).
 
-Two analysis layers ride along when their inputs were recorded: the
+Three analysis layers ride along when their inputs were recorded: the
 per-category **latency budget** (:mod:`repro.obs.critpath`, when spans
-are on) and the **throughput trough** figures per outage
-(:mod:`repro.obs.timeseries`, when a windowed sampler was attached).
+are on), the **throughput trough** figures per outage
+(:mod:`repro.obs.timeseries`, when a windowed sampler was attached),
+and the **host-CPU profile** table (:mod:`repro.obs.profiler`, when a
+profiler was attached).
 
 Works on any :class:`~repro.system.DatabaseSystem`; the copier/recovery
 fields appear when the system has the corresponding services (i.e. a
@@ -133,6 +135,9 @@ def recovery_timeline(system: typing.Any) -> dict:
     auditor = getattr(obs, "audit", None)
     if auditor is not None:
         report["audit"] = auditor.summary()
+    profiler = getattr(obs, "profiler", None)
+    if profiler is not None and profiler.total_events:
+        report["profile"] = profiler.report()
     return report
 
 
@@ -210,4 +215,9 @@ def render_recovery_timeline(report: dict) -> str:
         )
         for rule, count in sorted(audit["by_rule"].items()):
             lines.append(f"audit rule {rule}: {count}")
+    profile = report.get("profile")
+    if profile is not None:
+        from repro.obs.profiler import render_profile
+
+        lines.append(render_profile(profile))
     return "\n".join(lines)

@@ -61,6 +61,7 @@ def run_traced(
     seed: int = 0,
     audit: bool = False,
     sample_period: float | None = None,
+    profile: bool = False,
 ) -> TracedRun:
     """Run the named experiment's traced scenario to completion.
 
@@ -69,7 +70,10 @@ def run_traced(
     alert log and the incremental 1-STG. ``sample_period`` enables the
     windowed time-series sampler (``repro latency --sample-period``,
     the throughput-trough report): the returned run's ``obs.sampler``
-    carries the windows.
+    carries the windows. ``profile=True`` attaches the host-CPU
+    profiler (``repro profile``) to the kernel dispatch loop: the
+    returned run's ``obs.profiler`` carries the per-subsystem CPU
+    attribution.
     """
     try:
         module_name = SCENARIO_MODULES[experiment]
@@ -82,7 +86,7 @@ def run_traced(
     module = importlib.import_module(module_name)
     scenario = getattr(module, attr or "traced_scenario")
     kernel, system, obs, summary = scenario(
-        seed, audit=audit, sample_period=sample_period
+        seed, audit=audit, sample_period=sample_period, profile=profile
     )
     # Span hygiene backstop for scenarios that end without quiescing:
     # spans still open at the horizon are closed with truncated=True so

@@ -1,11 +1,12 @@
 """Doc-drift gate: docs/OBSERVABILITY.md's metric catalog is exhaustive.
 
-Parses the four markdown tables of the "Metric catalog" section
-(scalars, histograms, time series, sampled series) and compares the
-backticked metric names against a live ``registry.snapshot()`` from an
-audited traced run (and a live sampler's ``series_names()``). Adding a
-metric without cataloguing it — or documenting one that no longer
-exists — fails here.
+Parses the five markdown tables of the "Metric catalog" section
+(scalars, histograms, time series, sampled series, profiler metrics)
+and compares the backticked metric names against a live
+``registry.snapshot()`` from an audited traced run (plus a live
+sampler's ``series_names()`` and a ``HostProfiler``'s ``metrics()``
+keys). Adding a metric without cataloguing it — or documenting one
+that no longer exists — fails here.
 """
 
 import pathlib
@@ -47,8 +48,8 @@ def snapshot():
 
 
 class TestMetricCatalogDrift:
-    def test_section_has_four_tables(self):
-        assert len(_catalog_tables()) == 4
+    def test_section_has_five_tables(self):
+        assert len(_catalog_tables()) == 5
 
     def test_scalar_names_match_snapshot_exactly(self, snapshot):
         documented = _catalog_tables()[0]
@@ -76,6 +77,16 @@ class TestMetricCatalogDrift:
             "rowaa", 1, 3, {"X": 0}, sample_period=10.0
         )
         live = set(obs.sampler.series_names())
+        assert documented == live, (
+            f"undocumented: {sorted(live - documented)}; "
+            f"stale rows: {sorted(documented - live)}"
+        )
+
+    def test_profiler_metric_names_match_live(self):
+        from repro.obs.profiler import HostProfiler
+
+        documented = _catalog_tables()[4]
+        live = set(HostProfiler().metrics())
         assert documented == live, (
             f"undocumented: {sorted(live - documented)}; "
             f"stale rows: {sorted(documented - live)}"

@@ -78,7 +78,7 @@ class TestTraceCli:
         assert "recovery timeline" in printed
 
     @pytest.mark.parametrize(
-        "subcommand", ["trace", "metrics", "audit", "latency"]
+        "subcommand", ["trace", "metrics", "audit", "latency", "profile"]
     )
     def test_unknown_experiment_fails_cleanly(
         self, subcommand, tmp_path, capsys
@@ -90,6 +90,65 @@ class TestTraceCli:
         assert "unknown experiment 'e0'" in captured.err
         assert captured.err.startswith(subcommand + ":")
         assert not (tmp_path / "out").exists()
+
+
+class TestProfileCli:
+    def test_e2_profile_acceptance(self, tmp_path, capsys):
+        out = tmp_path / "prof.json"
+        folded = tmp_path / "folded.txt"
+        speedscope = tmp_path / "speedscope.json"
+        code = main([
+            "profile", "--experiment", "e2", "--seed", "1",
+            "--out", str(out), "--folded", str(folded),
+            "--speedscope", str(speedscope),
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "host-CPU profile" in printed
+        assert "recovery timeline" in printed
+        # The table leads the output and is not printed a second time
+        # by the embedded timeline report.
+        assert printed.count("host-CPU profile") == 1
+
+        doc = json.loads(out.read_text())
+        host = doc["host"]
+        # The acceptance invariant: per-subsystem exclusive CPU tiles
+        # the dispatch loop's wall time exactly (run-length batching
+        # charges every interval to exactly one run).
+        parts = sum(e["cpu_s"] for e in host["subsystems"].values())
+        assert parts == pytest.approx(host["dispatch_wall_s"], rel=0.01)
+        assert parts == pytest.approx(host["total_cpu_s"])
+        shares = sum(e["share"] for e in host["subsystems"].values())
+        assert shares == pytest.approx(1.0, rel=0.01)
+        assert host["total_events"] > 0
+        assert doc["sim_folded"], "sim-time folded stacks must exist"
+
+        # Valid speedscope sampled-profile document.
+        scope = json.loads(speedscope.read_text())
+        assert scope["$schema"] == (
+            "https://www.speedscope.app/file-format-schema.json"
+        )
+        profile = scope["profiles"][0]
+        assert profile["type"] == "sampled"
+        assert len(profile["samples"]) == len(profile["weights"]) > 0
+        n_frames = len(scope["shared"]["frames"])
+        assert all(
+            0 <= idx < n_frames
+            for sample in profile["samples"] for idx in sample
+        )
+        assert profile["endValue"] == pytest.approx(sum(profile["weights"]))
+
+        # Folded flamegraph lines: "a;b;c <value>".
+        lines = folded.read_text().splitlines()
+        assert lines and all(" " in line for line in lines)
+
+    def test_profile_sample_mode(self, capsys):
+        code = main([
+            "profile", "--experiment", "e7", "--seed", "2", "--sample",
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "host " in printed  # top host stacks were printed
 
 
 class TestLatencyCli:

@@ -1,0 +1,94 @@
+"""Property test for the sim-time flamegraph fold (repro.obs.profiler).
+
+The fold's contract: every instant of a root span's window is charged
+to exactly one root-to-leaf path. Therefore, for *any* span forest —
+children escaping their parents' windows, spans left open at the
+horizon, spans recorded in any order — the folded totals grouped by
+root label must equal the root span durations grouped by the same
+label. This is the invariant that makes the flamegraph trustworthy:
+widths never invent or lose sim-time relative to the roots they
+decompose.
+"""
+
+import math
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.obs.profiler import folded_stacks, frame_label
+from repro.obs.spans import SpanRecorder
+from repro.sim import Kernel
+
+_NAMES = ("txn:T1", "rpc:w", "refresh:X1", "serve:r", "lock-wait:X1", "recover")
+_CATEGORIES = ("user", "control", "rpc", "serve", "copier_refresh")
+
+
+@st.composite
+def span_forests(draw):
+    """An arbitrary forest: bounds, nesting, and open spans all random.
+
+    Children may start before or end after their parent's window (the
+    fold must clip), siblings may overlap (the fold must pick one
+    winner per instant), and any span may be left open (``end=None``)
+    for the horizon cut to close.
+    """
+    n = draw(st.integers(min_value=1, max_value=12))
+    kernel = Kernel(seed=0)
+    recorder = SpanRecorder(kernel, enabled=True)
+    spans = []
+    for index in range(n):
+        # Roots are spans with no parent; later spans may attach to any
+        # earlier one, giving arbitrary tree shapes.
+        parent = None
+        if index and draw(st.booleans()):
+            parent = draw(st.sampled_from(spans)).span_id
+        start = draw(st.integers(min_value=0, max_value=50))
+        kernel._now = float(start)
+        span = recorder.start(
+            draw(st.sampled_from(_NAMES)),
+            draw(st.sampled_from(_CATEGORIES)),
+            site_id=1,
+            parent=parent,
+        )
+        if draw(st.booleans()):
+            kernel._now = float(draw(st.integers(min_value=0, max_value=60)))
+            recorder.finish(span)  # may end before it started: zero width
+        spans.append(span)
+    horizon = draw(st.integers(min_value=50, max_value=80))
+    kernel._now = float(horizon)
+    recorder.finish_open()
+    shuffle = draw(st.randoms(use_true_random=False))
+    shuffle.shuffle(recorder.spans)
+    return recorder
+
+
+@given(recorder=span_forests())
+@settings(max_examples=50, deadline=None)
+def test_folded_totals_match_root_durations(recorder):
+    folded = folded_stacks(recorder)
+
+    by_id = {span.span_id: span for span in recorder.spans}
+    roots = [
+        span
+        for span in recorder.spans
+        if span.parent_id is None
+        or span.parent_id == span.span_id
+        or span.parent_id not in by_id
+    ]
+    expected: dict[str, float] = {}
+    for root in roots:
+        end = root.end if root.end is not None else root.start
+        duration = max(0.0, end - root.start)
+        if duration > 0:
+            label = frame_label(root)
+            expected[label] = expected.get(label, 0.0) + duration
+
+    actual: dict[str, float] = {}
+    for path, value in folded.items():
+        actual[path[0]] = actual.get(path[0], 0.0) + value
+
+    assert set(actual) == set(expected)
+    for label, total in expected.items():
+        assert math.isclose(
+            actual[label], total, rel_tol=1e-9, abs_tol=1e-9
+        ), (label, actual[label], total)
