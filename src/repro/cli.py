@@ -12,6 +12,8 @@ Usage::
     python -m repro latency --experiment e10 [--out budget.json] [--series ts.jsonl]
     python -m repro profile --experiment e11 [--sample] [--folded f.txt]
         [--speedscope s.json] [--out prof.json]
+    python -m repro schedfuzz --experiment e2 [--schedules 8] [--races]
+        [--out schedules.json | --replay schedules.json]
 
 Each experiment prints the table documented in EXPERIMENTS.md; ``small``
 scale finishes in a few seconds per experiment, ``full`` matches the
@@ -58,6 +60,17 @@ coherence, and liveness watchdogs. It exports the structured alert
 stream as JSONL, prints the auditor summary table and the
 recovery-timeline report, and exits non-zero when any **critical**
 alert fired — which is exactly the CI audit gate.
+
+``schedfuzz`` runs the schedule-space sanitizer (:mod:`repro.sanitize`):
+K perturbed schedules of one traced scenario — same seed, shuffled
+same-timestamp tie-breaks — each compared against the canonical run on
+committed-state fingerprint and audit-alert signature. A divergence
+means the protocol's outcome depended on an arbitrary scheduling
+tie-break; the failing decision list is then delta-debugged down to a
+minimal replayable schedule and exported (``--out``) as a JSON artifact
+that ``--replay`` re-runs. ``--races`` additionally attaches the
+happens-before race detector (vector clocks over simulated strands) to
+the perturbed runs.
 
 ``lint`` runs replint (:mod:`repro.lint`), the AST-based static
 analysis enforcing the same invariants the auditor checks dynamically
@@ -171,7 +184,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         help="experiment id (e1..e11), 'all', 'list', 'bench', 'trace', "
-        "'metrics', 'audit', 'latency', 'profile', or 'lint'",
+        "'metrics', 'audit', 'latency', 'profile', 'schedfuzz', or 'lint'",
     )
     parser.add_argument("--seed", type=int, default=3, help="master seed")
     parser.add_argument(
@@ -258,6 +271,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="profile: write the sim-time flamegraph as speedscope JSON "
         "(open at https://www.speedscope.app)",
     )
+    # schedfuzz-only options (ignored by the other subcommands).
+    parser.add_argument(
+        "--schedules", type=int, default=8, metavar="K",
+        help="schedfuzz: number of perturbed schedules (default: 8)",
+    )
+    parser.add_argument(
+        "--races", action="store_true",
+        help="schedfuzz: attach the happens-before race detector to the "
+        "perturbed runs (reports ride on the artifact; they never gate)",
+    )
+    parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="schedfuzz: skip delta-debugging the failing decision list",
+    )
+    parser.add_argument(
+        "--shrink-budget", type=int, default=48, metavar="N",
+        help="schedfuzz: max scenario re-runs spent shrinking (default 48)",
+    )
+    parser.add_argument(
+        "--replay", default=None, metavar="PATH",
+        help="schedfuzz: re-run the minimal schedule from a previously "
+        "exported artifact instead of fuzzing",
+    )
     # lint-only options (ignored by the other subcommands).
     parser.add_argument(
         "--json", action="store_true",
@@ -280,6 +316,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--update-baseline", action="store_true",
         help="lint: rewrite the baseline from the current findings",
+    )
+    parser.add_argument(
+        "--changed", nargs="?", const="HEAD", default=None, metavar="REF",
+        help="lint: only analyse files that differ from the given git ref "
+        "(default ref: HEAD); untracked files are included",
     )
     return parser
 
@@ -358,6 +399,10 @@ def run_bench(args: argparse.Namespace) -> int:
     if profiler_overhead is not None:
         print(f"profiler_overhead: {profiler_overhead:.1%}")
         metrics["profiler_overhead_pct"] = profiler_overhead * 100
+    sanitize_overhead = bench.sanitize_overhead_fraction(metrics)
+    if sanitize_overhead is not None:
+        print(f"sanitize_off_overhead: {sanitize_overhead:.1%}")
+        metrics["sanitize_off_overhead_pct"] = sanitize_overhead * 100
 
     exit_code = 0
     if args.check:
@@ -394,6 +439,10 @@ def run_bench(args: argparse.Namespace) -> int:
             exit_code = 1
         if profiler_overhead is not None and profiler_overhead > args.max_overhead:
             print(f"profiler overhead {profiler_overhead:.1%} exceeds "
+                  f"--max-overhead {args.max_overhead:.0%}  << REGRESSION")
+            exit_code = 1
+        if sanitize_overhead is not None and sanitize_overhead > args.max_overhead:
+            print(f"sanitizer-off overhead {sanitize_overhead:.1%} exceeds "
                   f"--max-overhead {args.max_overhead:.0%}  << REGRESSION")
             exit_code = 1
     if not args.no_append:
@@ -609,6 +658,75 @@ def run_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_schedfuzz(args: argparse.Namespace) -> int:
+    """The ``schedfuzz`` subcommand: the schedule-space sanitizer.
+
+    Runs the canonical schedule of the traced scenario under the
+    auditor, then K perturbed schedules of the same seed with the
+    kernel's same-timestamp tie-breaks shuffled, and compares committed
+    state fingerprints and audit-alert signatures. On divergence the
+    failing decision list is delta-debugged to a minimal replayable
+    schedule. ``--out`` saves the JSON artifact; ``--replay`` re-runs a
+    saved artifact's minimal schedule. Exit status: 0 when every
+    perturbed schedule converges (and a replayed artifact still
+    diverges — reproducing is the replay's *success*), 1 on divergence
+    (or a replay that no longer reproduces), 2 on usage errors.
+    """
+    import json
+
+    from repro.sanitize.fuzz import replay_artifact, schedfuzz
+
+    if args.replay is not None:
+        try:
+            with open(args.replay) as handle:
+                document = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"schedfuzz: cannot read {args.replay}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if "divergence" not in document:
+            print(f"schedfuzz: {args.replay} records no divergence; "
+                  "nothing to replay", file=sys.stderr)
+            return 2
+        experiment = document.get("experiment", args.scenario)
+        seed = int(document.get("seed", args.seed))
+        try:
+            canonical, replayed, diverged = replay_artifact(
+                experiment, seed, document
+            )
+        except ValueError as exc:
+            print(f"schedfuzz: {exc}", file=sys.stderr)
+            return 2
+        print(f"replay {experiment} seed={seed}: canonical "
+              f"{canonical.fingerprint[:16]} vs replayed "
+              f"{replayed.fingerprint[:16]}")
+        if diverged:
+            print("divergence reproduced")
+            return 0
+        print("divergence did NOT reproduce", file=sys.stderr)
+        return 1
+
+    if args.schedules < 1:
+        print("schedfuzz: --schedules must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        result = schedfuzz(
+            args.scenario, seed=args.seed, schedules=args.schedules,
+            shrink=not args.no_shrink, races=args.races,
+            shrink_budget=args.shrink_budget,
+        )
+    except ValueError as exc:
+        print(f"schedfuzz: {exc}", file=sys.stderr)
+        return 2
+    print(result.render())
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(result.artifact(), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote schedule artifact to {args.out}")
+    return 1 if result.diverged else 0
+
+
 def run_audit(args: argparse.Namespace) -> int:
     """The ``audit`` subcommand: traced scenario under the auditor.
 
@@ -664,6 +782,8 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         return run_latency(args)
     if name == "profile":
         return run_profile(args)
+    if name == "schedfuzz":
+        return run_schedfuzz(args)
     if name == "lint":
         from repro.lint.cli import run_lint
 

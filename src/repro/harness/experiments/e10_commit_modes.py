@@ -145,11 +145,11 @@ def _one_trial(mode, seed, n_sites, n_items, duration):
     # Sparse outages: recovery (type-1 commits + missing-list marking)
     # takes 50-120 sim units, so mtbf must dwarf mttr + recovery or the
     # grid measures recovery churn, not the commit path.
-    schedule = FailureSchedule.random_failures(
+    failures = FailureSchedule.random_failures(
         system.cluster.site_ids, rngs.stream(FailureSchedule.RNG_STREAM),
         horizon=duration * 0.8, mtbf=900, mttr=40,
     )
-    schedule.apply(system)
+    failures.apply(system)
     pool = ClientPool(
         system, WorkloadGenerator(spec, rngs.stream("workload.generator")),
         n_clients=6, think_time=0.5, retries=2,
@@ -174,6 +174,7 @@ def _one_trial(mode, seed, n_sites, n_items, duration):
 def _traced(
     seed: int, mode: str, audit: bool,
     sample_period: float | None = None, profile: bool = False,
+    schedule: object = None, races: bool = False,
 ):
     """One traced run of ``mode`` for ``repro trace/metrics/audit/latency``."""
     n_sites, n_items, duration = 4, 48, 400.0
@@ -181,17 +182,19 @@ def _traced(
     kernel, system, obs = build_traced_scheme(
         "rowaa", seed, n_sites, spec.initial_items(), audit=audit,
         sample_period=sample_period, profile=profile,
+        schedule=schedule, races=races,
         txn_config=TxnConfig(rpc_timeout=10.0, commit_mode=mode),
     )
     rngs = RngRegistry(seed)
-    schedule = FailureSchedule.random_failures(
+    failures = FailureSchedule.random_failures(
         system.cluster.site_ids, rngs.stream(FailureSchedule.RNG_STREAM),
         horizon=duration * 0.8, mtbf=600, mttr=40,
     )
-    schedule.apply(system)
+    failures.apply(system)
     pool = ClientPool(
         system, WorkloadGenerator(spec, rngs.stream("workload.generator")),
         n_clients=4, think_time=0.5, retries=2,
+        per_client_streams=True,
     )
     pool.start(duration)
     kernel.run(until=duration)
@@ -213,14 +216,18 @@ def _traced(
 def traced_scenario(
     seed: int = 0, audit: bool = False,
     sample_period: float | None = None, profile: bool = False,
+    schedule: object = None, races: bool = False,
 ):
     """The async fast path under outages (``repro audit e10``)."""
-    return _traced(seed, "async_quorum", audit, sample_period, profile)
+    return _traced(seed, "async_quorum", audit, sample_period, profile,
+                   schedule=schedule, races=races)
 
 
 def traced_scenario_sync(
     seed: int = 0, audit: bool = False,
     sample_period: float | None = None, profile: bool = False,
+    schedule: object = None, races: bool = False,
 ):
     """The sync baseline on the identical schedule (``e10sync``)."""
-    return _traced(seed, "sync_2pc", audit, sample_period, profile)
+    return _traced(seed, "sync_2pc", audit, sample_period, profile,
+                   schedule=schedule, races=races)

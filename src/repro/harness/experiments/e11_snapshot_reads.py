@@ -140,11 +140,11 @@ def _one_trial(variant, seed, n_sites, n_items, duration):
     rngs = RngRegistry(seed)
     # Denser outages than E10: the headline is reads served *during*
     # recovery windows, so the schedule must actually open them.
-    schedule = FailureSchedule.random_failures(
+    failures = FailureSchedule.random_failures(
         system.cluster.site_ids, rngs.stream(FailureSchedule.RNG_STREAM),
         horizon=duration * 0.8, mtbf=500, mttr=60,
     )
-    schedule.apply(system)
+    failures.apply(system)
     pool = ClientPool(
         system, WorkloadGenerator(spec, rngs.stream("workload.generator")),
         n_clients=6, think_time=0.5, retries=2,
@@ -181,6 +181,7 @@ def _verdict(variant, system, pool):
 def _traced(
     seed: int, variant: str, audit: bool,
     sample_period: float | None = None, profile: bool = False,
+    schedule: object = None, races: bool = False,
 ):
     """One traced run of ``variant`` for ``repro trace/metrics/audit/latency``."""
     n_sites, n_items, duration = 4, 32, 400.0
@@ -188,18 +189,20 @@ def _traced(
     kernel, system, obs = build_traced_scheme(
         "rowaa", seed, n_sites, spec.initial_items(), audit=audit,
         sample_period=sample_period, profile=profile,
+        schedule=schedule, races=races,
         txn_config=TxnConfig(rpc_timeout=10.0),
     )
     rngs = RngRegistry(seed)
-    schedule = FailureSchedule.random_failures(
+    failures = FailureSchedule.random_failures(
         system.cluster.site_ids, rngs.stream(FailureSchedule.RNG_STREAM),
         horizon=duration * 0.8, mtbf=400, mttr=60,
     )
-    schedule.apply(system)
+    failures.apply(system)
     pool = ClientPool(
         system, WorkloadGenerator(spec, rngs.stream("workload.generator")),
         n_clients=4, think_time=0.5, retries=2,
         force_locking=(variant == "locking"),
+        per_client_streams=True,
     )
     pool.start(duration)
     kernel.run(until=duration)
@@ -214,14 +217,18 @@ def _traced(
 def traced_scenario(
     seed: int = 0, audit: bool = False,
     sample_period: float | None = None, profile: bool = False,
+    schedule: object = None, races: bool = False,
 ):
     """The snapshot-read path under outages (``repro audit e11``)."""
-    return _traced(seed, "mvcc", audit, sample_period, profile)
+    return _traced(seed, "mvcc", audit, sample_period, profile,
+                   schedule=schedule, races=races)
 
 
 def traced_scenario_sync(
     seed: int = 0, audit: bool = False,
     sample_period: float | None = None, profile: bool = False,
+    schedule: object = None, races: bool = False,
 ):
     """The lock-based baseline on the identical schedule (``e11sync``)."""
-    return _traced(seed, "locking", audit, sample_period, profile)
+    return _traced(seed, "locking", audit, sample_period, profile,
+                   schedule=schedule, races=races)

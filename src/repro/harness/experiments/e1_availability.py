@@ -144,6 +144,7 @@ def _one_cell(scheme, seed, n_sites, replication, spec, failed, load_duration):
 def traced_scenario(
     seed: int = 0, audit: bool = False,
     sample_period: float | None = None, profile: bool = False,
+    schedule: object = None, races: bool = False,
 ):
     """One traced cell for ``repro trace``: one crashed site, mixed load.
 
@@ -159,6 +160,7 @@ def traced_scenario(
         "rowaa", cell_seed("e1-trace", seed), n_sites, spec.initial_items(),
         catalog=catalog,
         audit=audit, sample_period=sample_period, profile=profile,
+        schedule=schedule, races=races,
     )
     system.crash(n_sites)
     settle(kernel, system, 80.0)
@@ -166,6 +168,7 @@ def traced_scenario(
     pool = ClientPool(
         system, WorkloadGenerator(spec, rng), n_clients=3,
         think_time=3.0, retries=1, home_sites=list(range(1, n_sites)),
+        per_client_streams=True,
     )
     pool.start(120.0)
     kernel.run(until=kernel.now + 150)

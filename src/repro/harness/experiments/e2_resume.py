@@ -137,6 +137,7 @@ def _caught_up_time(kernel, system, scheme, victim, power_at):
 def traced_scenario(
     seed: int = 0, audit: bool = False,
     sample_period: float | None = None, profile: bool = False,
+    schedule: object = None, races: bool = False,
 ):
     """One traced rowaa cell for ``repro trace``: crash, miss, reboot, drain.
 
@@ -150,6 +151,7 @@ def traced_scenario(
     kernel, system, obs = build_traced_scheme(
         "rowaa", seed * 37 + missed, n_sites, spec.initial_items(),
         audit=audit, sample_period=sample_period, profile=profile,
+        schedule=schedule, races=races,
     )
     victim = n_sites
     system.crash(victim)

@@ -138,6 +138,7 @@ def _one_cell(scheme, seed, n_sites, n_items, load_duration, n_clients):
 def traced_scenario(
     seed: int = 0, audit: bool = False,
     sample_period: float | None = None, profile: bool = False,
+    schedule: object = None, races: bool = False,
 ):
     """One traced failure-free cell for ``repro trace``.
 
@@ -150,10 +151,12 @@ def traced_scenario(
     kernel, system, obs = build_traced_scheme(
         "rowaa", seed * 13 + n_sites, n_sites, spec.initial_items(),
         audit=audit, sample_period=sample_period, profile=profile,
+        schedule=schedule, races=races,
     )
     rng = random.Random(seed + n_sites)
     pool = ClientPool(
-        system, WorkloadGenerator(spec, rng), n_clients=4, think_time=2.0
+        system, WorkloadGenerator(spec, rng), n_clients=4, think_time=2.0,
+        per_client_streams=True,
     )
     pool.start(150.0)
     kernel.run(until=kernel.now + 200)

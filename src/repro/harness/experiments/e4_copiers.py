@@ -144,6 +144,7 @@ def _one_cell(seed, n_sites, n_items, stale_fraction, read_duration, mode):
 def traced_scenario(
     seed: int = 0, audit: bool = False,
     sample_period: float | None = None, profile: bool = False,
+    schedule: object = None, races: bool = False,
 ):
     """One traced eager-copier cell for ``repro trace``.
 
@@ -157,6 +158,7 @@ def traced_scenario(
         "rowaa", cell_seed("e4-trace", seed), n_sites, spec.initial_items(),
         rowaa_config=RowaaConfig(copier_mode="eager", unreadable_policy="redirect"),
         audit=audit, sample_period=sample_period, profile=profile,
+        schedule=schedule, races=races,
     )
     victim = n_sites
     system.crash(victim)
@@ -172,6 +174,7 @@ def traced_scenario(
     pool = ClientPool(
         system, WorkloadGenerator(spec, rng), n_clients=2, think_time=2.0,
         home_sites=[victim],
+        per_client_streams=True,
     )
     pool.start(120.0)
     kernel.run(until=kernel.now + 200)

@@ -126,6 +126,7 @@ def _one_cell(seed, n_sites, n_items, fraction, policy):
 def traced_scenario(
     seed: int = 0, audit: bool = False,
     sample_period: float | None = None, profile: bool = False,
+    schedule: object = None, races: bool = False,
 ):
     """One traced mark-all identification cell for ``repro trace``.
 
@@ -140,6 +141,7 @@ def traced_scenario(
         "rowaa", cell_seed("e5-trace", seed), n_sites, spec.initial_items(),
         rowaa_config=RowaaConfig(copier_mode="eager", identify_mode="mark-all"),
         audit=audit, sample_period=sample_period, profile=profile,
+        schedule=schedule, races=races,
     )
     victim = n_sites
     system.crash(victim)

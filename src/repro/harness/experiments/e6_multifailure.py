@@ -159,6 +159,7 @@ def _one_trial(scenario, seed, n_sites, n_items):
 def traced_scenario(
     seed: int = 0, audit: bool = False,
     sample_period: float | None = None, profile: bool = False,
+    schedule: object = None, races: bool = False,
 ):
     """One traced crash-during-t1 trial for ``repro trace``.
 
@@ -171,6 +172,7 @@ def traced_scenario(
     kernel, system, obs = build_traced_scheme(
         "rowaa", seed, n_sites, spec.initial_items(),
         audit=audit, sample_period=sample_period, profile=profile,
+        schedule=schedule, races=races,
     )
     rng = random.Random(seed)
     system.crash(n_sites)

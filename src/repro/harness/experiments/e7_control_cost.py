@@ -111,6 +111,7 @@ def _one_cell(scheme, seed, n_sites, n_items):
 def traced_scenario(
     seed: int = 0, audit: bool = False,
     sample_period: float | None = None, profile: bool = False,
+    schedule: object = None, races: bool = False,
 ):
     """One traced quiet crash/reboot cycle for ``repro trace``.
 
@@ -123,6 +124,7 @@ def traced_scenario(
     kernel, system, obs = build_traced_scheme(
         "rowaa", seed * 53 + n_items, n_sites, spec.initial_items(),
         audit=audit, sample_period=sample_period, profile=profile,
+        schedule=schedule, races=races,
     )
     baseline_msgs = system.cluster.network.stats.sent
     victim = n_sites

@@ -139,6 +139,7 @@ def _one_run(scheme, seed, n_sites, n_items, duration):
 def traced_scenario(
     seed: int = 0, audit: bool = False,
     sample_period: float | None = None, profile: bool = False,
+    schedule: object = None, races: bool = False,
 ):
     """One traced randomized crash/recovery run for ``repro trace``.
 
@@ -153,16 +154,18 @@ def traced_scenario(
     kernel, system, obs = build_traced_scheme(
         "rowaa", seed, n_sites, spec.initial_items(),
         audit=audit, sample_period=sample_period, profile=profile,
+        schedule=schedule, races=races,
     )
     rngs = RngRegistry(seed)
-    schedule = FailureSchedule.random_failures(
+    failures = FailureSchedule.random_failures(
         system.cluster.site_ids, rngs.stream(FailureSchedule.RNG_STREAM),
         horizon=duration * 0.8, mtbf=150, mttr=60,
     )
-    schedule.apply(system)
+    failures.apply(system)
     pool = ClientPool(
         system, WorkloadGenerator(spec, rngs.stream("workload.generator")),
         n_clients=4, think_time=4.0, retries=2,
+        per_client_streams=True,
     )
     pool.start(duration)
     kernel.run(until=duration)

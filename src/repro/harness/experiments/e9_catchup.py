@@ -194,6 +194,7 @@ def _one_cell(seed, n_sites, n_items, missed, mode, truncate):
 def traced_scenario(
     seed: int = 0, audit: bool = False,
     sample_period: float | None = None, profile: bool = False,
+    schedule: object = None, races: bool = False,
 ):
     """One traced log-shipping recovery for ``repro trace``.
 
@@ -208,6 +209,7 @@ def traced_scenario(
             copier_mode="eager", catchup_mode="log_ship", log_ship_batch=4
         ),
         audit=audit, sample_period=sample_period, profile=profile,
+        schedule=schedule, races=races,
     )
     victim = n_sites
     system.crash(victim)

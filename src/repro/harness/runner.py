@@ -69,6 +69,8 @@ def build_traced_scheme(
     audit: bool = False,
     sample_period: float | None = None,
     profile: bool = False,
+    schedule: typing.Any = None,
+    races: bool = False,
     **kwargs: typing.Any,
 ) -> tuple[Kernel, DatabaseSystem, Observability]:
     """Like :func:`build_scheme`, but with spans + timeline recording on.
@@ -85,9 +87,27 @@ def build_traced_scheme(
     (``repro profile``) a host-CPU profiler
     (:func:`repro.obs.profiler.attach_profiler`) instruments the kernel
     dispatch loop from here on; it rides on ``obs.profiler``.
+
+    With ``schedule`` set to a
+    :class:`~repro.sanitize.policy.ScheduleSpec`, the kernel's
+    same-timestamp tie-breaks are resolved by the spec's policy
+    (``repro schedfuzz``); the policy is attached *before* the system is
+    built so boot-time ties are perturbed too. With ``races=True`` a
+    happens-before race detector
+    (:func:`repro.sanitize.hb.attach_detector`) rides on
+    ``obs.sanitizer`` — the caller owns tearing the global access seam
+    down (:func:`repro.sanitize.hooks.clear`) when the run finishes.
     """
     kernel = Kernel(seed=seed)
+    if schedule is not None:
+        from repro.sanitize.policy import attach_policy
+
+        attach_policy(kernel, schedule)
     obs = Observability(kernel, spans=True, timeline=True)
+    if races:
+        from repro.sanitize.hb import attach_detector
+
+        obs.sanitizer = attach_detector(kernel)
     builder = SCHEME_BUILDERS[scheme]
     system = builder(
         kernel,

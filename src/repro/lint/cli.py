@@ -6,16 +6,25 @@ Usage (mirrors the trace/metrics/audit exit-code contract)::
     python -m repro lint --json [--out f.json]
     python -m repro lint --path src/repro/core --rules REP001,REP002
     python -m repro lint --update-baseline    # grandfather current findings
+    python -m repro lint --changed            # only files differing from HEAD
+    python -m repro lint --changed=origin/main
 
 Exit status: 0 clean (or baseline-only), 1 on any new error-severity
 finding, 2 on a usage error (unknown rule id — including inside a
-suppression directive — bad path, malformed baseline file).
+suppression directive — bad path, malformed baseline file, git failure
+under ``--changed``).
+
+``--changed [REF]`` intersects the lint targets with the files that
+differ from the git ref (default ``HEAD``), plus untracked files — the
+fast pre-commit loop. The exit-code contract and the ``--json`` schema
+are unchanged; an empty intersection lints nothing and exits 0.
 """
 
 from __future__ import annotations
 
 import argparse
 import pathlib
+import subprocess
 import sys
 
 from repro.lint import baseline as baseline_mod
@@ -29,6 +38,53 @@ _DEFAULT_ROOT = pathlib.Path(__file__).resolve().parents[2]  # .../src
 _DEFAULT_BASELINE = "replint_baseline.json"
 
 
+class ChangedFilesError(Exception):
+    """git could not produce the changed-file list (usage error)."""
+
+
+def changed_files(
+    ref: str, cwd: pathlib.Path | None = None
+) -> list[pathlib.Path]:
+    """Absolute paths of files differing from ``ref``, plus untracked.
+
+    Raises :exc:`ChangedFilesError` when ``cwd`` is not inside a git
+    work tree or the ref does not resolve.
+    """
+    def _git(*argv: str) -> str:
+        try:
+            proc = subprocess.run(
+                ["git", *argv], cwd=cwd, capture_output=True, text=True,
+            )
+        except OSError as exc:
+            raise ChangedFilesError(f"cannot run git: {exc}") from exc
+        if proc.returncode != 0:
+            detail = proc.stderr.strip().splitlines()
+            raise ChangedFilesError(
+                f"git {' '.join(argv)} failed: "
+                f"{detail[0] if detail else proc.returncode}"
+            )
+        return proc.stdout
+    top = pathlib.Path(_git("rev-parse", "--show-toplevel").strip())
+    names = _git("diff", "--name-only", ref).splitlines()
+    names += _git("ls-files", "--others", "--exclude-standard").splitlines()
+    return sorted({top / name for name in names if name})
+
+
+def restrict_to_changed(
+    paths: list[pathlib.Path], changed: list[pathlib.Path]
+) -> list[pathlib.Path]:
+    """The changed ``.py`` files that fall under one of ``paths``."""
+    roots = [p.resolve() for p in paths]
+    selected = []
+    for candidate in changed:
+        if candidate.suffix != ".py" or not candidate.is_file():
+            continue
+        resolved = candidate.resolve()
+        if any(resolved == root or root in resolved.parents for root in roots):
+            selected.append(candidate)
+    return selected
+
+
 def run_lint(args: argparse.Namespace) -> int:
     """Entry point called from :func:`repro.cli.main`."""
     root = _DEFAULT_ROOT
@@ -36,6 +92,16 @@ def run_lint(args: argparse.Namespace) -> int:
         paths = [pathlib.Path(p) for p in args.path]
     else:
         paths = [root / "repro"]
+
+    if getattr(args, "changed", None) is not None:
+        try:
+            changed = changed_files(args.changed)
+        except ChangedFilesError as exc:
+            print(f"lint: --changed: {exc}", file=sys.stderr)
+            return 2
+        # Lint the (possibly empty) intersection: the report/stats shape
+        # and the exit-code contract stay exactly as without --changed.
+        paths = restrict_to_changed(paths, changed)
 
     try:
         rules = None

@@ -7,4 +7,5 @@ from repro.lint.rules import (  # noqa: F401  (imported for registration)
     rep004_durability,
     rep005_floateq,
     rep006_slots,
+    rep007_stale_yield,
 )

@@ -301,6 +301,9 @@ class RpcNode:
                 msg = inbox.get_nowait()
 
     def _complete_call(self, msg: Message) -> None:
+        san = self.kernel._sanitize
+        if san is not None:
+            san.join_message(msg.msg_id)
         if msg.kind == "rpc.batch.reply":
             batch_results = msg.payload
             assert isinstance(batch_results, BatchResults)
@@ -326,6 +329,12 @@ class RpcNode:
             future.fail(value)
 
     def _spawn_server(self, msg: Message) -> None:
+        san = self.kernel._sanitize
+        if san is not None:
+            # Join even though the wake-up event may predate this message:
+            # the greedy inbox drain handles messages whose sender clocks
+            # the dispatch's scheduling edge did not carry.
+            san.join_message(msg.msg_id)
         if msg.kind == "rpc.batch":
             self._spawn_batch_server(msg)
             return

@@ -71,6 +71,11 @@ class Observability:
         #: kernel dispatch loop tests its *own* handle for None-ness;
         #: this one is for reports and the ``repro profile`` CLI.
         self.profiler: typing.Any = None
+        #: The attached happens-before race detector
+        #: (:func:`repro.sanitize.hb.attach_detector`), or None. The
+        #: kernel and the hooked protocol modules test their own handles
+        #: for None-ness; this one is for ``repro schedfuzz`` reports.
+        self.sanitizer: typing.Any = None
 
     @property
     def spans_on(self) -> bool:

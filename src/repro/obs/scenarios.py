@@ -62,6 +62,8 @@ def run_traced(
     audit: bool = False,
     sample_period: float | None = None,
     profile: bool = False,
+    schedule: typing.Any = None,
+    races: bool = False,
 ) -> TracedRun:
     """Run the named experiment's traced scenario to completion.
 
@@ -74,6 +76,12 @@ def run_traced(
     profiler (``repro profile``) to the kernel dispatch loop: the
     returned run's ``obs.profiler`` carries the per-subsystem CPU
     attribution.
+
+    ``schedule`` (a :class:`~repro.sanitize.policy.ScheduleSpec`) runs
+    the scenario under a perturbed same-timestamp tie-break policy and
+    ``races=True`` attaches the happens-before race detector — both for
+    ``repro schedfuzz``. With ``races=True`` the global access seam is
+    torn down before returning, even on failure.
     """
     try:
         module_name = SCENARIO_MODULES[experiment]
@@ -85,9 +93,16 @@ def run_traced(
     module_name, _, attr = module_name.partition(":")
     module = importlib.import_module(module_name)
     scenario = getattr(module, attr or "traced_scenario")
-    kernel, system, obs, summary = scenario(
-        seed, audit=audit, sample_period=sample_period, profile=profile
-    )
+    try:
+        kernel, system, obs, summary = scenario(
+            seed, audit=audit, sample_period=sample_period, profile=profile,
+            schedule=schedule, races=races,
+        )
+    finally:
+        if races:
+            from repro.sanitize import hooks
+
+            hooks.clear()
     # Span hygiene backstop for scenarios that end without quiescing:
     # spans still open at the horizon are closed with truncated=True so
     # exports and critpath see them. Idempotent after quiesce().

@@ -76,7 +76,7 @@ class Kernel:
 
     __slots__ = (
         "_now", "_heap", "_seq", "rng", "_unhandled", "events_processed",
-        "_prof",
+        "_prof", "_tiebreak", "_sanitize",
     )
 
     def __init__(self, seed: int = 0) -> None:
@@ -94,6 +94,17 @@ class Kernel:
         #: reading the profiler's host clock at run boundaries — the
         #: kernel itself never imports a wall clock (REP001).
         self._prof: typing.Any = None
+        #: Attached tie-break policy
+        #: (:class:`repro.sanitize.policy.TieBreakPolicy`), or None. When
+        #: set, same-timestamp heap batches are resolved by the policy
+        #: instead of insertion order; the default ``None`` path is
+        #: byte-identical to the unperturbed kernel.
+        self._tiebreak: typing.Any = None
+        #: Attached schedule sanitizer
+        #: (:class:`repro.sanitize.hb.RaceDetector`), or None. When set,
+        #: every heap push and every dispatch is reported so the detector
+        #: can thread vector clocks along scheduling edges.
+        self._sanitize: typing.Any = None
 
     # -- clock ---------------------------------------------------------------
 
@@ -109,6 +120,8 @@ class Kernel:
             raise SimError(f"cannot schedule into the past (delay={delay})")
         heapq.heappush(self._heap, (self._now + delay, self._seq, event))
         self._seq += 1
+        if self._sanitize is not None:
+            self._sanitize.on_scheduled(self._seq - 1)
 
     def schedule_callback(
         self, delay: float, fn: typing.Callable[..., None], *args: object
@@ -124,6 +137,8 @@ class Kernel:
         entry = Callback(fn, args)
         heapq.heappush(self._heap, (self._now + delay, self._seq, entry))
         self._seq += 1
+        if self._sanitize is not None:
+            self._sanitize.on_scheduled(self._seq - 1)
         return entry
 
     def call_soon(
@@ -131,6 +146,29 @@ class Kernel:
     ) -> Callback:
         """Run ``fn(*args)`` at the current time (or after ``delay``)."""
         return self.schedule_callback(delay, fn, *args)
+
+    # -- sanitizer seams -----------------------------------------------------
+
+    def set_tiebreak(self, policy: typing.Any) -> None:
+        """Attach (or with ``None`` detach) a same-timestamp tie-break policy.
+
+        The policy (:mod:`repro.sanitize.policy`) decides which member of
+        a batch of live entries ready at the same instant runs next.
+        Entries scheduled at distinct times, and entries scheduled *by*
+        a running dispatch (they did not exist when the batch formed),
+        are never reordered — only genuinely concurrent ties are.
+        """
+        self._tiebreak = policy
+
+    def set_sanitizer(self, sanitizer: typing.Any) -> None:
+        """Attach (or with ``None`` detach) a schedule sanitizer.
+
+        The sanitizer (:class:`repro.sanitize.hb.RaceDetector`) is told
+        about every heap push (:meth:`~RaceDetector.on_scheduled`) and
+        bracketed around every dispatch, which is how happens-before
+        scheduling edges are threaded.
+        """
+        self._sanitize = sanitizer
 
     # -- factories ---------------------------------------------------------------
 
@@ -168,6 +206,9 @@ class Kernel:
         advancing the clock; if only cancelled entries remained, the call
         returns having processed nothing.
         """
+        if self._tiebreak is not None or self._sanitize is not None:
+            self._step_sanitized()
+            return
         heap = self._heap
         if not heap:
             raise SimError("step() on an empty event queue")
@@ -210,6 +251,11 @@ class Kernel:
         """
         if isinstance(until, Future):
             return self._run_until_event(until)
+        if self._tiebreak is not None or self._sanitize is not None:
+            # Sanitized runs take precedence over profiling: the two
+            # drain loops do not compose, and perturbed schedules would
+            # skew host-CPU attribution anyway.
+            return self._run_sanitized(until)
         if self._prof is not None:
             return self._run_profiled(until)
         # Inlined drain loop: this is the innermost loop of every
@@ -298,6 +344,99 @@ class Kernel:
                 # summing to dispatch_wall_s exactly.
                 charge(None, None, now - prev, 0)
             prof.dispatch_wall_s += now - loop_start
+        if until is not None and self._now < until:
+            self._now = float(until)
+        return None
+
+    def _pop_perturbed(
+        self, until: float | None = None
+    ) -> tuple[float, int, "Future | Callback"] | None:
+        """Pop the next live entry, honoring the tie-break policy.
+
+        Returns ``(when, seq, entry)``, or ``None`` when the heap is
+        drained (or holds only events past ``until``). The ``until``
+        bound is re-checked here — not just by the caller — because the
+        canonical drain loop re-checks ``heap[0]`` before every pop and
+        this path must never process events the canonical one would not.
+
+        Only entries *simultaneously live at the same instant* form a
+        batch: the first live pop anchors the timestamp, every further
+        live entry at that exact time joins, and the policy picks one.
+        The rest go back under their original ``(time, seq)`` keys, so a
+        canonical (index-0) choice reproduces FIFO order exactly.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        while True:
+            if not heap or (until is not None and heap[0][0] > until):
+                return None
+            when, seq, entry = pop(heap)
+            if not entry._flags & F_CANCELLED:
+                break
+        policy = self._tiebreak
+        if policy is None or not heap or heap[0][0] != when:
+            return when, seq, entry
+        batch = [(seq, entry)]
+        while heap and heap[0][0] == when:
+            _when2, seq2, entry2 = pop(heap)
+            if not entry2._flags & F_CANCELLED:
+                batch.append((seq2, entry2))
+        if len(batch) == 1:
+            return when, seq, entry
+        index = policy.choose(len(batch))
+        chosen_seq, chosen = batch.pop(index)
+        push = heapq.heappush
+        for seq2, entry2 in batch:
+            push(heap, (when, seq2, entry2))
+        return when, chosen_seq, chosen
+
+    def _step_sanitized(self) -> None:
+        """One :meth:`step` with the tie-break policy / sanitizer engaged."""
+        if not self._heap:
+            raise SimError("step() on an empty event queue")
+        popped = self._pop_perturbed()
+        if popped is None:
+            return  # drained nothing but dead timers
+        when, seq, entry = popped
+        self._now = when
+        self.events_processed += 1
+        san = self._sanitize
+        if san is None:
+            entry._process()
+        else:
+            san.begin_dispatch(seq)
+            try:
+                entry._process()
+            finally:
+                san.end_dispatch()
+        if self._unhandled:
+            self._raise_unhandled()
+
+    def _run_sanitized(self, until: float | None) -> object:
+        """The drain loop with the tie-break policy / sanitizer engaged.
+
+        Same event semantics as :meth:`run` modulo the policy's choice
+        among same-instant ties; not speed-tuned — sanitized runs are a
+        diagnostic mode, never the measured path.
+        """
+        san = self._sanitize
+        while True:
+            popped = self._pop_perturbed(until)
+            if popped is None:
+                break
+            when, seq, entry = popped
+            self._now = when
+            self.events_processed += 1
+            if san is None:
+                entry._process()
+            else:
+                san.begin_dispatch(seq)
+                try:
+                    entry._process()
+                finally:
+                    san.end_dispatch()
+            if self._unhandled:
+                self._raise_unhandled()
         if until is not None and self._now < until:
             self._now = float(until)
         return None

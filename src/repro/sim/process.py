@@ -97,6 +97,19 @@ class Process(Future):
             self._step(lambda: self._generator.throw(exc))
 
     def _step(self, advance: typing.Callable[[], object]) -> None:
+        san = self.kernel._sanitize
+        if san is None:
+            self._advance(advance)
+            return
+        # Bracket the resume so the sanitizer can attribute every state
+        # access inside it to this strand (and tick its vector clock).
+        san.enter_step(self)
+        try:
+            self._advance(advance)
+        finally:
+            san.exit_step(self)
+
+    def _advance(self, advance: typing.Callable[[], object]) -> None:
         try:
             target = advance()
         except StopIteration as stop:

@@ -5,6 +5,8 @@ from __future__ import annotations
 import dataclasses
 import typing
 
+from repro.sanitize import hooks as _san
+
 
 class Version(typing.NamedTuple):
     """Total order on committed writes of a logical item.
@@ -99,6 +101,11 @@ class CopyStore:
 
     def apply_write(self, item: str, value: object, version: Version) -> None:
         """Install a committed write; clears the unreadable mark (§3.2)."""
+        if _san.ACTIVE is not None:
+            _san.ACTIVE.on_access(
+                self.site_id, ("copy", item), "write",
+                "CopyStore.apply_write", token=version,
+            )
         copy = self._copies[item]
         copy.value = value
         copy.version = version
@@ -110,12 +117,16 @@ class CopyStore:
 
     def mark_unreadable(self, item: str) -> None:
         """Flag the copy as possibly stale (recovery step 2, §3.4)."""
+        if _san.ACTIVE is not None:
+            self._track_mark(item, "CopyStore.mark_unreadable")
         self._copies[item].unreadable = True
         if self.journal is not None:
             self.journal("mark", item)
 
     def clear_unreadable(self, item: str) -> None:
         """Validate the copy without changing it (equal-version copier)."""
+        if _san.ACTIVE is not None:
+            self._track_mark(item, "CopyStore.clear_unreadable")
         self._copies[item].unreadable = False
         if self.journal is not None:
             self.journal("clear", item)
@@ -126,6 +137,15 @@ class CopyStore:
             copy.unreadable = True
             if self.journal is not None:
                 self.journal("mark", item)
+
+    def _track_mark(self, item: str, where: str) -> None:
+        """Report an unreadable-mark flip to the attached sanitizer.
+
+        Mark flips are writes to the same ``("copy", item)`` key as value
+        installs: a copier validating a copy races a user write to it
+        exactly like two value writes would.
+        """
+        _san.ACTIVE.on_access(self.site_id, ("copy", item), "write", where)
 
     def unreadable_items(self) -> list[str]:
         """Items whose local copy is currently marked unreadable."""
@@ -145,6 +165,11 @@ class CopyStore:
         """Install/overwrite a copy with explicit full state (replay only:
         unlike :meth:`apply_write`, this sets the mark rather than
         clearing it and is never journaled by the caller)."""
+        if _san.ACTIVE is not None:
+            _san.ACTIVE.on_access(
+                self.site_id, ("copy", item), "write",
+                "CopyStore.install", token=version,
+            )
         copy = self._copies.get(item)
         if copy is None:
             copy = self._copies[item] = DataCopy(item=item, value=value)

@@ -33,6 +33,7 @@ from repro.errors import (
     TransactionError,
 )
 from repro.histories.recorder import HistoryRecorder
+from repro.sanitize import hooks as _san
 from repro.sim.kernel import Kernel
 from repro.site.site import Site
 from repro.storage.copies import Version
@@ -166,6 +167,15 @@ class DataManager:
     # -- access checks -----------------------------------------------------------
 
     def _check_access(self, expected: int | None, privileged: bool) -> None:
+        if _san.ACTIVE is not None:
+            # The session check is the protocol's load-bearing read of
+            # as[k]: a request validated against a session number that a
+            # concurrent activate() is replacing is exactly the
+            # interleaving the schedule sanitizer exists to surface.
+            _san.ACTIVE.on_access(
+                self.site_id, ("session",), "read",
+                "DataManager._check_access", token=self.actual_session,
+            )
         if not privileged:
             # §3.1: the request carries the session number the requester
             # believes this site is in; inequality with as[k] rejects it.

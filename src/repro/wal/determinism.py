@@ -10,9 +10,18 @@ as a digest mismatch here long before it shows up as a flaky recovery.
 
 Usage::
 
-    python -m repro.wal.determinism [--seed N]
+    python -m repro.wal.determinism [--seed N] [--cross-schedule]
 
 Exit code 0 on byte-identical runs, 1 on divergence.
+
+``--cross-schedule`` asserts a *robustness* property instead of a
+reproducibility one: the crash/resume scenario (E2) run under two
+different same-timestamp tie-break salts (see
+:mod:`repro.sanitize.policy`) must converge to **identical committed
+state fingerprints** — same values, same unreadable marks, same stable
+session numbers. Unlike the byte-level digest above, physical version
+stamps and WAL layout are excluded: legal schedules may commit the same
+values in a different physical order, and that is not a divergence.
 """
 
 from __future__ import annotations
@@ -82,13 +91,58 @@ def check(seed: int = 3) -> bool:
     return False
 
 
+def cross_schedule_digest(seed: int, salt: int) -> tuple[str, int]:
+    """One E2 run under shuffle ``salt`` -> (fingerprint, choice points).
+
+    Salt 0 runs the canonical (FIFO) schedule with the tie-break seam
+    engaged, so the comparison also covers the seam itself.
+    """
+    from repro.obs.scenarios import run_traced
+    from repro.sanitize.fingerprint import fingerprint, system_state
+    from repro.sanitize.policy import ScheduleSpec
+
+    mode = "canonical" if salt == 0 else "shuffle"
+    run = run_traced("e2", seed=seed, schedule=ScheduleSpec(mode=mode, salt=salt))
+    # strict_values: E2 is a single-writer recovery drill, so even the
+    # committed *values* must be schedule-independent — a stronger claim
+    # than the agreement-partition gate schedfuzz applies to contended
+    # workloads.
+    return (
+        fingerprint(system_state(run.system, strict_values=True)),
+        len(run.kernel._tiebreak.decisions),
+    )
+
+
+def check_cross_schedule(seed: int = 3, salts: tuple[int, ...] = (0, 1, 2)) -> bool:
+    """Same seed, different tie-break salts, identical committed state."""
+    digests = []
+    for salt in salts:
+        digest, choices = cross_schedule_digest(seed, salt)
+        label = "canonical" if salt == 0 else f"shuffle[{salt}]"
+        print(f"{label}: fingerprint={digest[:16]} choice_points={choices}")
+        digests.append(digest)
+    if len(set(digests)) == 1:
+        print(f"cross-schedule determinism: OK (seed={seed}, "
+              f"{len(salts)} schedules)")
+        return True
+    print(f"cross-schedule determinism: DIVERGED (seed={seed})  << REGRESSION")
+    return False
+
+
 def main(argv: typing.Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Assert crash-replay recovery is byte-identical "
         "across same-seed runs."
     )
     parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument(
+        "--cross-schedule", action="store_true",
+        help="instead: assert E2 committed state is identical across "
+        "perturbed same-timestamp tie-break schedules",
+    )
     args = parser.parse_args(argv)
+    if args.cross_schedule:
+        return 0 if check_cross_schedule(args.seed) else 1
     return 0 if check(args.seed) else 1
 
 

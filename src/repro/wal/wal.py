@@ -27,6 +27,7 @@ from __future__ import annotations
 import dataclasses
 import typing
 
+from repro.sanitize import hooks as _san
 from repro.sim.events import Future
 from repro.wal.config import WalConfig
 from repro.wal.log import CHECKPOINT_KEY, RedoLog
@@ -105,11 +106,23 @@ class SiteWal:
     def _journal(self, op: str, item: str, value: object = None, version=None) -> None:
         if self._restoring:
             return  # replay must not re-journal what it applies
+        if _san.ACTIVE is not None:
+            # WAL appends are serialized by the log itself; record them
+            # as ordering notes (report context), never race-checked.
+            _san.ACTIVE.on_access(
+                self.site.site_id, ("wal", item), "note",
+                f"SiteWal._journal[{op}]",
+            )
         self.log.append(op, item=item, value=value, version=version)
         self.stats.records_appended += 1
 
     def log_session(self, session: int, started_at: float | None = None) -> None:
         """Journal a session reservation/activation and make it durable."""
+        if _san.ACTIVE is not None:
+            _san.ACTIVE.on_access(
+                self.site.site_id, ("wal", "session"), "note",
+                f"SiteWal.log_session[{session}]",
+            )
         self.log.append("session", session=session, session_started_at=started_at)
         self.stats.records_appended += 1
         self.flush()

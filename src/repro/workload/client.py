@@ -85,6 +85,7 @@ class ClientPool:
         retry_delay: float = 5.0,
         home_sites: typing.Sequence[int] | None = None,
         force_locking: bool = False,
+        per_client_streams: bool = False,
     ) -> None:
         self.system = system
         self.generator = generator
@@ -97,6 +98,17 @@ class ClientPool:
             system.cluster.site_ids
         )
         self.stats = ClientStats()
+        # With per_client_streams each client draws programs from its
+        # own forked generator, so *which* transactions a client runs is
+        # independent of the order clients interleave — required for
+        # schedule-space fuzzing (repro schedfuzz), where a perturbed
+        # tie-break may reorder execution but must not change the
+        # programs. The forks happen here, in construction order, so
+        # they are a pure function of the generator's seed either way.
+        if per_client_streams:
+            self._generators = [generator.fork(i) for i in range(n_clients)]
+        else:
+            self._generators = [generator] * n_clients
         self._procs: list[Process] = []
         self._stopping = False
 
@@ -106,16 +118,19 @@ class ClientPool:
         for index in range(self.n_clients):
             home = self.home_sites[index % len(self.home_sites)]
             proc = self.system.kernel.process(
-                self._client_loop(home, deadline), name=f"client{index}@{home}"
+                self._client_loop(home, deadline, self._generators[index]),
+                name=f"client{index}@{home}",
             )
             proc.defuse()
             self._procs.append(proc)
         return self._procs
 
-    def _client_loop(self, home: int, deadline: float) -> typing.Generator:
+    def _client_loop(
+        self, home: int, deadline: float, generator: WorkloadGenerator
+    ) -> typing.Generator:
         kernel = self.system.kernel
         while kernel.now < deadline:
-            program = self.generator.next_program()
+            program = generator.next_program()
             read_only = getattr(program, "read_only", False)
             start = kernel.now
             self.stats.attempted += 1

@@ -89,6 +89,22 @@ class WorkloadGenerator:
         self._sampler = ZipfSampler(spec.n_items, spec.zipf_s)
         self.generated = 0
 
+    def fork(self, index: int) -> "WorkloadGenerator":
+        """An independent, deterministically-seeded child generator.
+
+        Forking draws one seed from this generator's stream, so a set
+        of children created in a fixed order (client pool construction)
+        is itself a pure function of the parent's seed. Each child then
+        evolves independently: *which* programs a consumer draws no
+        longer depends on the order consumers happen to interleave —
+        the property ``repro schedfuzz`` needs, where a perturbed
+        schedule may reorder execution but must never change the
+        program being executed.
+        """
+        return WorkloadGenerator(
+            self.spec, random.Random(self.rng.getrandbits(64) ^ index)
+        )
+
     def _pick_items(self, count: int) -> list[str]:
         chosen: list[int] = []
         # Distinct items per transaction: avoids trivial self-conflicts

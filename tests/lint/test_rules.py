@@ -441,3 +441,99 @@ class TestRep006MissingSlots:
             rules=["REP006"],
         )
         assert result.findings == []
+
+
+class TestRep007StaleYield:
+    def test_stale_session_read_across_yield_flagged(self, lint):
+        result = lint(
+            "repro/core/x.py",
+            """
+            def recover(site, kernel):
+                session = site.sessions.current
+                yield kernel.timeout(5.0)
+                site.sessions.activate(session + 1, kernel.now)
+            """,
+            rules=["REP007"],
+        )
+        assert rules_of(result) == ["REP007"]
+        assert "activate(session)" in result.findings[0].message
+
+    def test_revalidated_read_after_yield_clean(self, lint):
+        result = lint(
+            "repro/core/x.py",
+            """
+            def recover(site, kernel):
+                session = site.sessions.current
+                yield kernel.timeout(5.0)
+                session = site.sessions.current
+                site.sessions.activate(session + 1, kernel.now)
+            """,
+            rules=["REP007"],
+        )
+        assert result.findings == []
+
+    def test_stale_store_to_state_attribute_flagged(self, lint):
+        result = lint(
+            "repro/core/x.py",
+            """
+            def adopt(site, peer, kernel):
+                seen = peer.actual_session
+                yield kernel.timeout(1.0)
+                site.actual_session = seen
+            """,
+            rules=["REP007"],
+        )
+        assert rules_of(result) == ["REP007"]
+        assert "store to .actual_session" in result.findings[0].message
+
+    def test_use_before_any_yield_clean(self, lint):
+        result = lint(
+            "repro/core/x.py",
+            """
+            def bump(site, kernel):
+                session = site.sessions.current
+                site.sessions.activate(session + 1, kernel.now)
+                yield kernel.timeout(5.0)
+            """,
+            rules=["REP007"],
+        )
+        assert result.findings == []
+
+    def test_non_generator_function_ignored(self, lint):
+        result = lint(
+            "repro/core/x.py",
+            """
+            def bump(site, kernel):
+                session = site.sessions.current
+                site.sessions.activate(session + 1, kernel.now)
+            """,
+            rules=["REP007"],
+        )
+        assert result.findings == []
+
+    def test_out_of_scope_layer_ignored(self, lint):
+        result = lint(
+            "repro/harness/x.py",
+            """
+            def drive(site, kernel):
+                session = site.sessions.current
+                yield kernel.timeout(5.0)
+                site.sessions.activate(session + 1, kernel.now)
+            """,
+            rules=["REP007"],
+        )
+        assert result.findings == []
+
+    def test_inline_suppression(self, lint):
+        result = lint(
+            "repro/core/x.py",
+            """
+            def recover(site, kernel):
+                session = site.sessions.current
+                yield kernel.timeout(5.0)
+                site.sessions.activate(session + 1, kernel.now)  # replint: disable=REP007  # session pinned by lock
+            """,
+            rules=["REP007"],
+        )
+        assert result.findings == []
+        assert result.suppressed == 1
